@@ -1,0 +1,59 @@
+"""Fig. 10 — performance under feature, edge and label sparsity (Computer)."""
+
+from repro.experiments import format_series, prepare_clients, run_method
+from repro.simulation import edge_sparsity, feature_sparsity, label_sparsity
+
+from benchmarks.bench_utils import load_bench_dataset, record, settings
+
+METHODS = ["fedgcn", "fedsage+", "fed-pub", "adafgl"]
+LEVELS = [0.0, 0.5, 0.9]
+
+
+def _apply(kind, clients, level, seed):
+    if level == 0.0:
+        return clients
+    if kind == "feature":
+        return [feature_sparsity(c, level, seed=seed) for c in clients]
+    if kind == "edge":
+        return [edge_sparsity(c, level, seed=seed) for c in clients]
+    # Label sparsity: keep `1 - level` of the default training fraction.
+    ratio = max(0.02, 0.2 * (1.0 - level))
+    return [label_sparsity(c, ratio, seed=seed) for c in clients]
+
+
+def test_fig10_sparse_settings(benchmark):
+    config = settings()
+    graph = load_bench_dataset("computer")
+
+    def run():
+        results = {}
+        for split in ("community", "structure"):
+            base_clients = prepare_clients("computer", split, config,
+                                           graph=graph)
+            for kind in ("feature", "edge", "label"):
+                for level in LEVELS:
+                    clients = _apply(kind, base_clients, level, config.seed)
+                    for method in METHODS:
+                        acc = run_method(method, clients, config)["accuracy"]
+                        results.setdefault((split, kind), {}).setdefault(
+                            level, {})[method] = acc
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    blocks = []
+    for (split, kind), by_level in results.items():
+        for method in METHODS:
+            blocks.append(format_series(
+                f"Fig 10 computer {kind} sparsity ({split}) — {method}",
+                sorted(by_level), [by_level[l][method]
+                                   for l in sorted(by_level)]))
+    record("fig10_sparsity", "\n\n".join(blocks))
+
+    # AdaFGL should stay above chance even at the harshest sparsity level and
+    # should never be the single worst method there.
+    num_classes = graph.num_classes
+    for (split, kind), by_level in results.items():
+        harsh = by_level[max(LEVELS)]
+        assert harsh["adafgl"] > 1.0 / num_classes
+        assert harsh["adafgl"] >= min(harsh.values())

@@ -1,0 +1,57 @@
+"""Fig. 2 — empirical analysis on Cora with 10 clients.
+
+(a) per-client label distributions, (b) per-client topology distributions,
+(c) round-wise accuracy curves, (d) per-client accuracy, for community split
+vs structure Non-iid split.
+"""
+
+import numpy as np
+
+from repro.experiments import format_series, format_table, prepare_clients, run_method
+from repro.metrics import client_label_distribution, client_topology_distribution
+
+from benchmarks.bench_utils import load_bench_dataset, record, settings
+
+
+def _analyse(split: str, graph, config):
+    clients = prepare_clients("cora", split, config, graph=graph)
+    labels = client_label_distribution(clients, num_classes=graph.num_classes)
+    topology = client_topology_distribution(clients)
+    summary = run_method("fedgcn", clients, config)
+    reports = summary["trainer"].client_reports()
+    return clients, labels, topology, summary, reports
+
+
+def test_fig2_empirical_analysis(benchmark):
+    config = settings(num_clients=10)
+    graph = load_bench_dataset("cora")
+
+    def run():
+        return {split: _analyse(split, graph, config)
+                for split in ("community", "structure")}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    blocks = []
+    for split, (clients, labels, topology, summary, reports) in results.items():
+        blocks.append(format_table(
+            ["client"] + [f"class{c}" for c in range(graph.num_classes)],
+            [[i] + row.tolist() for i, row in enumerate(labels)],
+            title=f"Fig 2(a) label distribution — {split}"))
+        blocks.append(format_table(
+            ["client", "node homophily", "edge homophily"],
+            [[i, row[0], row[1]] for i, row in enumerate(topology)],
+            title=f"Fig 2(b) topology distribution — {split}"))
+        history = summary["history"]
+        blocks.append(format_series(f"Fig 2(c) FedGCN accuracy/round — {split}",
+                                    history.rounds, history.test_accuracy))
+        blocks.append(format_table(
+            ["client", "accuracy", "edge homophily"],
+            [[r.client_id, r.accuracy, r.homophily] for r in reports],
+            title=f"Fig 2(d) per-client accuracy — {split}"))
+    record("fig2_empirical", "\n\n".join(blocks))
+
+    # Claim: structure Non-iid produces more diverse client topologies.
+    community_topology = results["community"][2]
+    noniid_topology = results["structure"][2]
+    assert noniid_topology[:, 1].std() >= community_topology[:, 1].std() - 0.02

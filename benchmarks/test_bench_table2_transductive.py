@@ -1,0 +1,60 @@
+"""Table II — transductive accuracy on the 10 transductive datasets,
+community split vs structure Non-iid split, all baselines + AdaFGL."""
+
+import numpy as np
+
+from repro.experiments import format_table
+
+from benchmarks.bench_utils import (
+    MAIN_METHODS,
+    full_grid,
+    record,
+    run_grid,
+    settings,
+)
+
+DEFAULT_DATASETS = ["cora", "citeseer", "chameleon", "squirrel"]
+FULL_DATASETS = ["cora", "citeseer", "pubmed", "computer", "physics",
+                 "chameleon", "squirrel", "actor", "penn94", "arxiv-year"]
+
+
+def test_table2_transductive_performance(benchmark):
+    datasets = FULL_DATASETS if full_grid() else DEFAULT_DATASETS
+    config = settings()
+
+    results = benchmark.pedantic(
+        lambda: run_grid(datasets, MAIN_METHODS, ["community", "structure"],
+                         config),
+        iterations=1, rounds=1)
+
+    blocks = []
+    for split in ("community", "structure"):
+        rows = [[method] + [results[split][d][method] for d in datasets]
+                for method in MAIN_METHODS]
+        blocks.append(format_table(["method"] + datasets, rows,
+                                   title=f"Table II — {split} split"))
+    record("table2_transductive", "\n\n".join(blocks))
+
+    # Shape checks against the paper's headline claims.
+    homophilous = [d for d in datasets if d in ("cora", "citeseer", "pubmed",
+                                                "computer", "physics")]
+    # (1) AdaFGL is the best or near-best method on homophilous datasets under
+    #     the community split.  CiteSeer gets a looser margin: the paper
+    #     itself reports only limited AdaFGL improvement on its weak global
+    #     homophily (Sec. IV-B).
+    for dataset in homophilous:
+        margin = 0.08 if dataset == "citeseer" else 0.05
+        best = max(results["community"][dataset].values())
+        assert results["community"][dataset]["adafgl"] >= best - margin
+    # (2) Homophilous federated GNNs degrade on homophilous datasets when
+    #     moving from community split to structure Non-iid split.
+    drops = [results["community"][d]["fedgcn"] - results["structure"][d]["fedgcn"]
+             for d in homophilous]
+    assert np.mean(drops) > 0.0
+    # (3) AdaFGL stays within a small margin of the best method on average.
+    gaps = []
+    for split in ("community", "structure"):
+        for dataset in datasets:
+            best = max(results[split][dataset].values())
+            gaps.append(best - results[split][dataset]["adafgl"])
+    assert np.mean(gaps) < 0.08

@@ -1,0 +1,47 @@
+"""Table V — inductive accuracy under random- vs meta-injection
+(Flickr and Reddit analogues, structure Non-iid split)."""
+
+from repro.experiments import format_table, prepare_clients, run_method
+
+from benchmarks.bench_utils import load_bench_dataset, record, settings
+
+METHODS = ["fedgl", "gcfl+", "fedsage+", "fed-pub", "adafgl"]
+DATASETS = ["flickr", "reddit"]
+
+
+def test_table5_injection_inductive(benchmark):
+    config = settings()
+
+    def run():
+        results = {}
+        for dataset in DATASETS:
+            graph = load_bench_dataset(dataset)
+            for injection in ("random", "meta"):
+                clients = prepare_clients(dataset, "structure", config,
+                                          graph=graph, injection=injection)
+                for method in METHODS:
+                    summary = run_method(method, clients, config)
+                    results.setdefault(dataset, {}).setdefault(injection, {})[
+                        method] = summary["accuracy"]
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    headers = ["method"] + [f"{d}/{i}" for d in DATASETS
+                            for i in ("random", "meta")]
+    rows = [[m] + [results[d][i][m] for d in DATASETS
+                   for i in ("random", "meta")] for m in METHODS]
+    record("table5_injection_inductive",
+           format_table(headers, rows,
+                        title="Table V — injection strategies (inductive)"))
+
+    # On the homophilous Reddit analogue AdaFGL must stay near the best
+    # method; on the heterophilous Flickr analogue the small-client caveat of
+    # EXPERIMENTS.md applies, so we only require clearly-above-chance and not
+    # being an outlier far below the field.
+    for injection in ("random", "meta"):
+        best_reddit = max(results["reddit"][injection].values())
+        assert results["reddit"][injection]["adafgl"] >= best_reddit - 0.08
+        flickr = results["flickr"][injection]
+        assert flickr["adafgl"] > 1.0 / 9
+        assert flickr["adafgl"] >= min(flickr.values()) - 0.12

@@ -1,0 +1,54 @@
+"""Quickstart: federated node classification with AdaFGL in ~40 lines.
+
+Loads the Cora stand-in dataset, simulates 5 clients with the structure
+Non-iid split, runs the two-step AdaFGL paradigm and compares it against a
+federated GCN baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AdaFGL, AdaFGLConfig, load_dataset, structure_noniid_split
+from repro.experiments import format_table
+from repro.federated import FederatedConfig
+from repro.fgl import build_baseline
+
+
+def main() -> None:
+    # 1. Load a dataset (a synthetic stand-in matching Cora's statistics).
+    graph = load_dataset("cora", seed=0)
+    print(f"loaded {graph}")
+
+    # 2. Simulate the federated setting: Metis partition + edge injection.
+    clients = structure_noniid_split(graph, num_clients=5, seed=0)
+    print(f"created {len(clients)} client subgraphs "
+          f"({[c.num_nodes for c in clients]} nodes)")
+
+    # 3. Baseline: a federated GCN trained with FedAvg.
+    baseline = build_baseline(
+        "fedgcn", clients,
+        config=FederatedConfig(rounds=20, local_epochs=3, seed=0))
+    baseline.run()
+
+    # 4. AdaFGL: Step 1 federated knowledge extractor + Step 2 personalized
+    #    propagation on every client.
+    adafgl = AdaFGL(clients, AdaFGLConfig(rounds=20, local_epochs=3,
+                                          personalized_epochs=60, seed=0))
+    adafgl.run()
+
+    # 5. Compare.
+    print()
+    print(format_table(
+        ["method", "test accuracy"],
+        [["FedGCN", baseline.evaluate("test")],
+         ["AdaFGL", adafgl.evaluate("test")]],
+        title="Structure Non-iid split on Cora (5 clients)"))
+
+    print("\nper-client Homophily Confidence Scores:")
+    for client_id, hcs in sorted(adafgl.client_hcs().items()):
+        print(f"  client {client_id}: HCS = {hcs:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduce the paper's motivating study (Fig. 1 / Fig. 2) on one dataset.
+
+Shows how the two data-simulation strategies differ:
+
+* the community split keeps every client's topology consistent with the
+  homophilous global graph;
+* the structure Non-iid split injects homophilous or heterophilous edges per
+  client, creating the topology heterogeneity that breaks standard FGL.
+
+The script prints per-client label distributions, homophily statistics and
+the accuracy of a federated GCN under both strategies.
+
+Run with::
+
+    python examples/topology_heterogeneity_study.py [dataset]
+"""
+
+import sys
+
+from repro import community_split, load_dataset, structure_noniid_split
+from repro.experiments import format_table
+from repro.federated import FederatedConfig
+from repro.fgl import build_baseline
+from repro.metrics import client_label_distribution, client_topology_distribution
+
+
+def describe(split_name, clients, num_classes):
+    labels = client_label_distribution(clients, num_classes=num_classes)
+    topology = client_topology_distribution(clients)
+    print(format_table(
+        ["client", "nodes", "edges", "node homophily", "edge homophily"]
+        + [f"class{c}" for c in range(num_classes)],
+        [[i, c.num_nodes, c.num_edges, topology[i, 0], topology[i, 1]]
+         + labels[i].tolist() for i, c in enumerate(clients)],
+        title=f"{split_name} split: per-client statistics"))
+    print()
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "cora"
+    graph = load_dataset(dataset, seed=0)
+    print(f"global graph: {graph}\n")
+
+    config = FederatedConfig(rounds=20, local_epochs=3, seed=0)
+    accuracies = {}
+    for split_name, splitter in (("community", community_split),
+                                 ("structure Non-iid", structure_noniid_split)):
+        clients = splitter(graph, 10, seed=0)
+        describe(split_name, clients, graph.num_classes)
+        trainer = build_baseline("fedgcn", clients, config=config)
+        trainer.run()
+        accuracies[split_name] = trainer.evaluate("test")
+
+    print(format_table(
+        ["simulation strategy", "FedGCN test accuracy"],
+        [[k, v] for k, v in accuracies.items()],
+        title="Topology heterogeneity hurts standard federated GNNs"))
+
+
+if __name__ == "__main__":
+    main()

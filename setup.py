@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Packaging metadata lives in ``setup.cfg``.  A plain ``setup.py`` + ``setup.cfg``
+layout (instead of ``pyproject.toml``) is used so that editable installs work
+in fully offline environments that lack the ``wheel`` package required by
+PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

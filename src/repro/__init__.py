@@ -1,0 +1,34 @@
+"""Reproduction of AdaFGL (ICDE 2024) on a pure numpy/scipy substrate.
+
+The package is organised bottom-up:
+
+* :mod:`repro.autograd` — reverse-mode automatic differentiation engine.
+* :mod:`repro.nn` / :mod:`repro.optim` — neural-network layers and optimizers.
+* :mod:`repro.graph` — graph container, normalisation and homophily metrics.
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's 12 benchmarks.
+* :mod:`repro.partition` — Louvain and Metis-style partitioners.
+* :mod:`repro.simulation` — community split, structure Non-iid split, sparsity.
+* :mod:`repro.federated` — clients, server, FedAvg collaborative training.
+* :mod:`repro.models` — centralised GNN baselines (GCN, GCNII, GloGNN, ...).
+* :mod:`repro.fgl` — federated graph learning baselines (FedGL, FED-PUB, ...).
+* :mod:`repro.core` — the AdaFGL paradigm (the paper's contribution).
+* :mod:`repro.experiments` — table/figure regeneration harness.
+"""
+
+from repro.graph import Graph
+from repro.datasets import load_dataset, list_datasets
+from repro.simulation import community_split, structure_noniid_split
+from repro.core import AdaFGL, AdaFGLConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "load_dataset",
+    "list_datasets",
+    "community_split",
+    "structure_noniid_split",
+    "AdaFGL",
+    "AdaFGLConfig",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+The engine is intentionally small: a :class:`Tensor` wraps a numpy array and
+records the operations applied to it; calling :meth:`Tensor.backward` performs
+a topological sweep and accumulates gradients into every tensor created with
+``requires_grad=True``.  Sparse adjacency matrices enter the graph through
+:func:`repro.autograd.functional.spmm`, which treats the sparse operand as a
+constant (exactly how GNN propagation matrices are used in the paper).
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

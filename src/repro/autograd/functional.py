@@ -1,0 +1,228 @@
+"""Functional operations used by the GNN layers.
+
+Everything here returns a :class:`~repro.autograd.tensor.Tensor` that is wired
+into the autodiff graph.  Sparse propagation matrices (scipy CSR) enter the
+graph as constants through :func:`spmm`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, _unbroadcast, is_grad_enabled
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def as_tensor(value: ArrayOrTensor, requires_grad: bool = False) -> Tensor:
+    """Coerce a numpy array (or tensor) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+# ----------------------------------------------------------------------
+# Sparse propagation
+# ----------------------------------------------------------------------
+def spmm(adjacency: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant sparse matrix by a dense tensor: ``A @ X``.
+
+    The sparse operand is treated as a constant (no gradient flows into the
+    adjacency), matching how propagation matrices are used in GNNs.
+    """
+    if not sp.issparse(adjacency):
+        raise TypeError("spmm expects a scipy sparse matrix as first operand")
+    adjacency = adjacency.tocsr()
+    out_data = adjacency @ dense.data
+
+    def backward(grad):
+        dense._accumulate(adjacency.T @ grad)
+
+    return Tensor._make(out_data, (dense,), backward)
+
+
+def propagate(adjacency: Union[sp.spmatrix, np.ndarray], features: Tensor) -> Tensor:
+    """Propagate ``features`` with either a sparse or dense operator."""
+    if sp.issparse(adjacency):
+        return spmm(adjacency, features)
+    return as_tensor(adjacency).matmul(features)
+
+
+# ----------------------------------------------------------------------
+# Activations / normalisations
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    mask = x.data > 0
+    scale = mask + (~mask) * negative_slope
+    out_data = x.data * scale
+
+    def backward(grad):
+        x._accumulate(grad * scale)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    mask = x.data > 0
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(mask, x.data, exp_part)
+
+    def backward(grad):
+        local = np.where(mask, 1.0, exp_part + alpha)
+        x._accumulate(grad * local)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    probs = np.exp(out_data)
+
+    def backward(grad):
+        x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool = True,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout.  A no-op when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    out_data = x.data * mask
+
+    def backward(grad):
+        x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Combination helpers
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack_mean(tensors: Sequence[Tensor]) -> Tensor:
+    """Average a list of equally-shaped tensors."""
+    total = tensors[0]
+    for tensor in tensors[1:]:
+        total = total + tensor
+    return total * (1.0 / len(tensors))
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(n, num_classes)``.
+    labels:
+        Integer class ids of shape ``(n,)``.
+    mask:
+        Optional boolean or index mask selecting the supervised rows.
+    """
+    labels = np.asarray(labels)
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            idx = np.nonzero(mask)[0]
+        else:
+            idx = mask
+    else:
+        idx = np.arange(logits.data.shape[0])
+    if idx.size == 0:
+        raise ValueError("cross_entropy received an empty supervision mask")
+
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[idx, labels[idx]]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray,
+             mask: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log-likelihood given already log-softmaxed inputs."""
+    labels = np.asarray(labels)
+    if mask is not None:
+        mask = np.asarray(mask)
+        idx = np.nonzero(mask)[0] if mask.dtype == bool else mask
+    else:
+        idx = np.arange(log_probs.data.shape[0])
+    picked = log_probs[idx, labels[idx]]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: ArrayOrTensor) -> Tensor:
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def frobenius_loss(prediction: Tensor, target: ArrayOrTensor) -> Tensor:
+    """Frobenius-norm discrepancy ``||A - B||_F`` used as knowledge loss."""
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return ((diff * diff).sum() + 1e-12) ** 0.5
+
+
+def l2_regularisation(tensors: Sequence[Tensor]) -> Tensor:
+    """Sum of squared entries of every tensor (weight decay term)."""
+    total = None
+    for tensor in tensors:
+        term = (tensor * tensor).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total

@@ -1,0 +1,147 @@
+"""Command-line interface for the AdaFGL reproduction.
+
+Examples::
+
+    python -m repro.cli datasets
+    python -m repro.cli run --dataset cora --split structure --method adafgl
+    python -m repro.cli compare --dataset citeseer --methods fedgcn fed-pub adafgl
+    python -m repro.cli hcs --dataset chameleon --split structure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import AdaFGL
+from repro.datasets import dataset_statistics, list_datasets, load_dataset
+from repro.experiments import (
+    ExperimentSettings,
+    compare_methods,
+    format_table,
+    prepare_clients,
+    run_method,
+)
+from repro.experiments.runner import available_methods
+from repro.graph import edge_homophily
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings(seed=args.seed)
+    if args.clients is not None:
+        settings.num_clients = args.clients
+    if args.rounds is not None:
+        settings.rounds = args.rounds
+    if args.epochs is not None:
+        settings.local_epochs = args.epochs
+    return settings
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cora", choices=list_datasets())
+    parser.add_argument("--split", default="community",
+                        choices=["community", "structure"])
+    parser.add_argument("--injection", default="random",
+                        choices=["random", "meta"])
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the generated dataset size")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [list(dataset_statistics(name, seed=args.seed).values())
+            for name in list_datasets()]
+    headers = list(dataset_statistics(list_datasets()[0], seed=args.seed))
+    print(format_table(headers, rows, title="Registered datasets"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    graph = load_dataset(args.dataset, seed=args.seed, num_nodes=args.nodes)
+    clients = prepare_clients(args.dataset, args.split, settings, graph=graph,
+                              injection=args.injection)
+    summary = run_method(args.method, clients, settings)
+    print(format_table(
+        ["method", "split", "test accuracy", "train accuracy", "floats/round"],
+        [[args.method, args.split, summary["accuracy"],
+          summary["train_accuracy"], summary["communication"]["per_round"]]],
+        title=f"{args.dataset} ({len(clients)} clients)"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    graph = load_dataset(args.dataset, seed=args.seed, num_nodes=args.nodes)
+    clients = prepare_clients(args.dataset, args.split, settings, graph=graph,
+                              injection=args.injection)
+    results = compare_methods(args.methods, clients, settings)
+    rows = [[method, results[method]["accuracy"],
+             results[method]["communication"]["per_round"]]
+            for method in args.methods]
+    print(format_table(["method", "test accuracy", "floats/round"], rows,
+                       title=f"{args.dataset} — {args.split} split"))
+    return 0
+
+
+def cmd_hcs(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    graph = load_dataset(args.dataset, seed=args.seed, num_nodes=args.nodes)
+    clients = prepare_clients(args.dataset, args.split, settings, graph=graph,
+                              injection=args.injection)
+    trainer = AdaFGL(clients, settings.adafgl_config())
+    trainer.run()
+    hcs = trainer.client_hcs()
+    rows = [[cid, hcs[cid],
+             edge_homophily(clients[cid].adjacency, clients[cid].labels)]
+            for cid in sorted(hcs)]
+    print(format_table(["client", "HCS", "edge homophily"], rows,
+                       title=f"HCS on {args.dataset} — {args.split} split"))
+    print(f"\noverall test accuracy: {trainer.evaluate('test'):.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AdaFGL reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = subparsers.add_parser(
+        "datasets", help="list the registered benchmark datasets")
+    p_datasets.add_argument("--seed", type=int, default=0)
+    p_datasets.set_defaults(func=cmd_datasets)
+
+    p_run = subparsers.add_parser("run", help="train one federated method")
+    _add_common(p_run)
+    p_run.add_argument("--method", default="adafgl",
+                       choices=available_methods())
+    p_run.set_defaults(func=cmd_run)
+
+    p_compare = subparsers.add_parser(
+        "compare", help="compare several methods on the same split")
+    _add_common(p_compare)
+    p_compare.add_argument("--methods", nargs="+",
+                           default=["fedgcn", "fed-pub", "adafgl"],
+                           choices=available_methods())
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_hcs = subparsers.add_parser(
+        "hcs", help="report per-client Homophily Confidence Scores")
+    _add_common(p_hcs)
+    p_hcs.set_defaults(func=cmd_hcs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""AdaFGL: the paper's decoupled two-step personalized FGL paradigm.
+
+Step 1 (:mod:`repro.core.knowledge`) — standard federated collaborative
+training produces the *federated knowledge extractor*; each client uses it to
+build an optimized probability propagation matrix (Eq. 5–6).
+
+Step 2 (:mod:`repro.core.modules`, :mod:`repro.core.adafgl`) — each client
+trains a personalized model combining a homophilous propagation module, a
+heterophilous propagation module and the Homophily Confidence Score
+(:mod:`repro.core.hcs`) that adaptively mixes their outputs (Eq. 7–17).
+"""
+
+from repro.core.adafgl import AdaFGL, AdaFGLConfig
+from repro.core.knowledge import (
+    FederatedKnowledgeExtractor,
+    optimized_propagation_matrix,
+)
+from repro.core.hcs import homophily_confidence_score, label_propagation
+from repro.core.modules import AdaFGLClientModel
+from repro.core.ablation import ablation_variants
+
+__all__ = [
+    "AdaFGL",
+    "AdaFGLConfig",
+    "FederatedKnowledgeExtractor",
+    "optimized_propagation_matrix",
+    "homophily_confidence_score",
+    "label_propagation",
+    "AdaFGLClientModel",
+    "ablation_variants",
+]

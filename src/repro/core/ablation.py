@@ -1,0 +1,29 @@
+"""Ablation configurations for Tables VI and VII."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.core.adafgl import AdaFGLConfig
+
+#: Maps the paper's ablation row names to the config field they disable.
+ABLATION_COMPONENTS: Dict[str, str] = {
+    "w/o K.P.": "use_knowledge_preserving",
+    "w/o T.F.": "use_topology_independent",
+    "w/o L.M.": "use_learnable_message",
+    "w/o L.T.": "use_local_topology",
+    "w/o HCS": "use_hcs",
+}
+
+
+def ablation_variants(base: AdaFGLConfig) -> Dict[str, AdaFGLConfig]:
+    """Return the full model plus every single-component ablation.
+
+    Keys follow the paper's row labels ("w/o K.P.", ..., "AdaFGL").
+    """
+    variants: Dict[str, AdaFGLConfig] = {}
+    for label, flag in ABLATION_COMPONENTS.items():
+        variants[label] = dataclasses.replace(base, **{flag: False})
+    variants["AdaFGL"] = dataclasses.replace(base)
+    return variants

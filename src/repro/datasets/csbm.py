@@ -1,0 +1,189 @@
+"""Contextual stochastic block model (cSBM) graph generator.
+
+The generator controls exactly the quantities the paper studies: the number of
+classes, the feature dimension and signal strength, and the *edge homophily*
+(fraction of edges whose endpoints share a label).  Community structure is
+obtained by splitting every class into several latent blocks so that Louvain
+and Metis find meaningful clusters, mirroring the citation-network structure
+exploited by the paper's community split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import Graph
+from repro.graph.utils import adjacency_from_edges
+
+
+@dataclass
+class CSBMConfig:
+    """Parameters of a contextual stochastic block model.
+
+    Attributes
+    ----------
+    num_nodes / num_classes / num_features:
+        Graph dimensions.
+    avg_degree:
+        Target mean node degree.
+    edge_homophily:
+        Desired fraction of intra-class edges (Table I, "E.Homo").
+    feature_signal:
+        Scale of the class-dependent mean in the node features; larger values
+        make the classification problem easier from features alone.
+    blocks_per_class:
+        Number of latent communities each class is subdivided into; higher
+        values give Louvain/Metis more clusters to find.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    num_nodes: int = 1000
+    num_classes: int = 5
+    num_features: int = 32
+    avg_degree: float = 8.0
+    edge_homophily: float = 0.8
+    feature_signal: float = 1.0
+    blocks_per_class: int = 2
+    seed: int = 0
+    name: str = "csbm"
+
+
+def _sample_class_sizes(num_nodes: int, num_classes: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Roughly balanced class sizes with mild random variation."""
+    weights = rng.uniform(0.8, 1.2, size=num_classes)
+    weights /= weights.sum()
+    sizes = np.floor(weights * num_nodes).astype(int)
+    sizes[: num_nodes - sizes.sum()] += 1
+    return sizes
+
+
+def _label_aware_spanning_tree(labels: np.ndarray, homophily: float,
+                               rng: np.random.Generator) -> list:
+    """Spanning-tree edges whose intra-class rate matches ``homophily``.
+
+    Keeping the graph connected must not dilute the edge-homophily target, so
+    every tree edge picks a same-label partner with probability ``homophily``
+    (falling back to whatever is available early in the ordering).
+    """
+    n = labels.shape[0]
+    order = rng.permutation(n)
+    seen_by_class: dict[int, list] = {}
+    seen_all: list = []
+    edges = []
+    for position, node in enumerate(order):
+        if position > 0:
+            same = seen_by_class.get(int(labels[node]), [])
+            other = seen_all
+            want_same = rng.random() < homophily
+            pool = same if (want_same and same) else other
+            if not want_same and len(other) > len(same):
+                # Prefer a different-label partner when one exists.
+                for _ in range(4):
+                    candidate = other[rng.integers(0, len(other))]
+                    if labels[candidate] != labels[node]:
+                        pool = [candidate]
+                        break
+            partner = pool[rng.integers(0, len(pool))]
+            edges.append((int(node), int(partner)))
+        seen_by_class.setdefault(int(labels[node]), []).append(int(node))
+        seen_all.append(int(node))
+    return edges
+
+
+def generate_csbm(config: CSBMConfig) -> Graph:
+    """Generate a :class:`Graph` from a :class:`CSBMConfig`.
+
+    The sampling procedure:
+
+    1. assign labels (roughly balanced classes), and split each class into
+       ``blocks_per_class`` latent communities;
+    2. draw node features from a Gaussian whose mean is a class-specific
+       direction scaled by ``feature_signal``;
+    3. sample ``avg_degree * n / 2`` edges; each edge is intra-class with
+       probability ``edge_homophily`` and inter-class otherwise, with endpoints
+       preferentially drawn from the same latent block so the graph has
+       community structure;
+    4. add a random spanning tree so the graph is connected.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = config.num_nodes
+    num_classes = config.num_classes
+
+    # --- labels and latent blocks -------------------------------------
+    class_sizes = _sample_class_sizes(n, num_classes, rng)
+    labels = np.repeat(np.arange(num_classes), class_sizes)
+    rng.shuffle(labels)
+
+    blocks = np.zeros(n, dtype=np.int64)
+    block_id = 0
+    block_members: list[np.ndarray] = []
+    for c in range(num_classes):
+        members = np.nonzero(labels == c)[0]
+        rng.shuffle(members)
+        chunks = np.array_split(members, max(1, config.blocks_per_class))
+        for chunk in chunks:
+            blocks[chunk] = block_id
+            block_members.append(chunk)
+            block_id += 1
+    num_blocks = block_id
+
+    # --- features -------------------------------------------------------
+    class_means = rng.normal(size=(num_classes, config.num_features))
+    class_means /= np.linalg.norm(class_means, axis=1, keepdims=True) + 1e-12
+    features = (config.feature_signal * class_means[labels]
+                + rng.normal(scale=1.0, size=(n, config.num_features)))
+
+    # --- edges ----------------------------------------------------------
+    target_edges = int(config.avg_degree * n / 2)
+    nodes_by_class = [np.nonzero(labels == c)[0] for c in range(num_classes)]
+    block_of = [block_members[b] for b in range(num_blocks)]
+
+    sources = rng.integers(0, n, size=target_edges * 2)
+    edge_set: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    intra_probability = config.edge_homophily
+    same_block_probability = 0.8
+
+    for u in sources:
+        if len(edges) >= target_edges:
+            break
+        label_u = labels[u]
+        if rng.random() < intra_probability:
+            # Same-class partner, preferentially from the same latent block.
+            if rng.random() < same_block_probability:
+                pool = block_of[blocks[u]]
+            else:
+                pool = nodes_by_class[label_u]
+        else:
+            other = rng.integers(0, num_classes - 1)
+            if other >= label_u:
+                other += 1
+            pool = nodes_by_class[other]
+        if pool.size <= 1:
+            continue
+        v = int(pool[rng.integers(0, pool.size)])
+        if v == u:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edge_set:
+            continue
+        edge_set.add(key)
+        edges.append(key)
+
+    tree_edges = _label_aware_spanning_tree(labels, config.edge_homophily, rng)
+    all_edges = np.asarray(edges + tree_edges, dtype=np.int64)
+    adjacency = adjacency_from_edges(all_edges, n)
+
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=labels,
+        name=config.name,
+        metadata={"blocks": blocks, "config": config},
+    )

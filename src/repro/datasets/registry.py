@@ -1,0 +1,152 @@
+"""Registry of the 12 benchmark datasets from Table I of the paper.
+
+Each entry records the statistics that matter to the paper's analysis —
+class count, feature dimension, split ratios, edge homophily, transductive vs
+inductive — plus a scaled-down node/edge budget used by the synthetic cSBM
+generator.  ``load_dataset`` produces a ready-to-use :class:`Graph` with split
+masks applied.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.datasets.csbm import CSBMConfig, generate_csbm
+from repro.datasets.splits import make_split_masks
+from repro.graph import Graph, edge_homophily
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one named benchmark dataset."""
+
+    name: str
+    num_nodes: int
+    num_features: int
+    num_classes: int
+    avg_degree: float
+    edge_homophily: float
+    train_ratio: float
+    val_ratio: float
+    test_ratio: float
+    task: str  # "transductive" or "inductive"
+    description: str
+    feature_signal: float = 1.5
+    paper_nodes: int = 0
+    paper_edges: int = 0
+
+
+def _spec(name, nodes, feats, classes, degree, homophily, splits, task,
+          description, signal=1.5, paper_nodes=0, paper_edges=0) -> DatasetSpec:
+    return DatasetSpec(
+        name=name, num_nodes=nodes, num_features=feats, num_classes=classes,
+        avg_degree=degree, edge_homophily=homophily,
+        train_ratio=splits[0], val_ratio=splits[1], test_ratio=splits[2],
+        task=task, description=description, feature_signal=signal,
+        paper_nodes=paper_nodes, paper_edges=paper_edges)
+
+
+#: Table I of the paper, scaled down for CPU-only training.  The original node
+#: and edge counts are kept in ``paper_nodes`` / ``paper_edges`` for reporting.
+DATASET_REGISTRY: Dict[str, DatasetSpec] = {
+    "cora": _spec("cora", 900, 64, 7, 4.0, 0.810, (0.2, 0.4, 0.4),
+                  "transductive", "citation network", 0.9, 2708, 5429),
+    "citeseer": _spec("citeseer", 950, 96, 6, 3.0, 0.736, (0.2, 0.4, 0.4),
+                      "transductive", "citation network", 0.8, 3327, 4732),
+    "pubmed": _spec("pubmed", 1400, 48, 3, 4.5, 0.802, (0.2, 0.4, 0.4),
+                    "transductive", "citation network", 1.0, 19717, 44338),
+    "computer": _spec("computer", 1200, 64, 10, 18.0, 0.777, (0.2, 0.4, 0.4),
+                      "transductive", "co-purchase network", 0.9, 13381, 245778),
+    "physics": _spec("physics", 1500, 96, 5, 14.0, 0.931, (0.2, 0.4, 0.4),
+                     "transductive", "co-authorship network", 1.2, 34493, 247962),
+    "chameleon": _spec("chameleon", 900, 64, 5, 16.0, 0.234, (0.6, 0.2, 0.2),
+                       "transductive", "wiki pages network", 1.2, 2277, 36101),
+    "squirrel": _spec("squirrel", 1100, 64, 5, 20.0, 0.223, (0.6, 0.2, 0.2),
+                      "transductive", "wiki pages network", 1.0, 5201, 216933),
+    "actor": _spec("actor", 1200, 48, 5, 8.0, 0.216, (0.6, 0.2, 0.2),
+                   "transductive", "movie network", 0.9, 7600, 29926),
+    "penn94": _spec("penn94", 1400, 8, 2, 30.0, 0.470, (0.6, 0.2, 0.2),
+                    "transductive", "dating network", 0.7, 41554, 1362229),
+    "arxiv-year": _spec("arxiv-year", 1600, 32, 5, 13.0, 0.222, (0.6, 0.2, 0.2),
+                        "transductive", "publish network", 1.0, 169343, 1166243),
+    "reddit": _spec("reddit", 1500, 48, 7, 20.0, 0.756, (0.5, 0.25, 0.25),
+                    "inductive", "social network", 1.1, 89250, 899756),
+    "flickr": _spec("flickr", 1600, 48, 9, 10.0, 0.319, (0.66, 0.1, 0.24),
+                    "inductive", "image network", 1.0, 232965, 11606919),
+}
+
+
+def list_datasets(task: str = None) -> List[str]:
+    """Return the registered dataset names, optionally filtered by task."""
+    names = sorted(DATASET_REGISTRY)
+    if task is None:
+        return names
+    return [n for n in names if DATASET_REGISTRY[n].task == task]
+
+
+def _scale() -> float:
+    """Global node-count scaling factor, controlled by ``REPRO_SCALE``."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def load_dataset(name: str, seed: int = 0, num_nodes: int = None) -> Graph:
+    """Generate the named benchmark graph with split masks applied.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_datasets`.
+    seed:
+        RNG seed controlling graph sampling and split assignment.
+    num_nodes:
+        Optional override of the scaled node count (useful in tests).
+    """
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(
+            f"unknown dataset '{name}'; available: {', '.join(list_datasets())}")
+    spec = DATASET_REGISTRY[key]
+    nodes = num_nodes if num_nodes is not None else max(
+        120, int(spec.num_nodes * _scale()))
+    config = CSBMConfig(
+        num_nodes=nodes,
+        num_classes=spec.num_classes,
+        num_features=spec.num_features,
+        avg_degree=spec.avg_degree,
+        edge_homophily=spec.edge_homophily,
+        feature_signal=spec.feature_signal,
+        blocks_per_class=max(2, 12 // spec.num_classes),
+        seed=seed,
+        name=spec.name,
+    )
+    graph = generate_csbm(config)
+    graph = make_split_masks(graph, spec.train_ratio, spec.val_ratio,
+                             spec.test_ratio, seed=seed)
+    graph.metadata["spec"] = spec
+    graph.metadata["task"] = spec.task
+    graph.metadata["num_classes"] = spec.num_classes
+    return graph
+
+
+def dataset_statistics(name: str, seed: int = 0) -> Dict[str, float]:
+    """Return Table-I style statistics for a generated dataset."""
+    graph = load_dataset(name, seed=seed)
+    spec = DATASET_REGISTRY[name.lower()]
+    return {
+        "name": spec.name,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "features": graph.num_features,
+        "classes": graph.num_classes,
+        "edge_homophily": edge_homophily(graph.adjacency, graph.labels),
+        "target_edge_homophily": spec.edge_homophily,
+        "task": spec.task,
+        "train_ratio": spec.train_ratio,
+        "paper_nodes": spec.paper_nodes,
+        "paper_edges": spec.paper_edges,
+    }

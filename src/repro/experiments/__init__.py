@@ -1,0 +1,20 @@
+"""Experiment harness that regenerates the paper's tables and figures."""
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    run_method,
+    compare_methods,
+    prepare_clients,
+)
+from repro.experiments.tables import format_table, format_series
+from repro.experiments.tuning import grid_search
+
+__all__ = [
+    "ExperimentSettings",
+    "run_method",
+    "compare_methods",
+    "prepare_clients",
+    "format_table",
+    "format_series",
+    "grid_search",
+]

@@ -1,0 +1,119 @@
+"""Unified experiment runner over every federated method (baselines + AdaFGL).
+
+The evaluation scale is controlled by :class:`ExperimentSettings`; the
+defaults read the environment variables ``REPRO_ROUNDS`` / ``REPRO_EPOCHS`` /
+``REPRO_CLIENTS`` so that the benchmark harness can be made faster or slower
+without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import AdaFGL, AdaFGLConfig
+from repro.datasets import load_dataset
+from repro.federated import FederatedConfig
+from repro.fgl import build_baseline, list_baselines
+from repro.graph import Graph
+from repro.metrics import TrainingHistory
+from repro.simulation import community_split, structure_noniid_split
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class ExperimentSettings:
+    """Scale knobs shared by every experiment."""
+
+    num_clients: int = field(default_factory=lambda: _env_int("REPRO_CLIENTS", 5))
+    rounds: int = field(default_factory=lambda: _env_int("REPRO_ROUNDS", 20))
+    local_epochs: int = field(default_factory=lambda: _env_int("REPRO_EPOCHS", 3))
+    personalized_epochs: int = field(
+        default_factory=lambda: _env_int("REPRO_PERSONALIZED_EPOCHS", 60))
+    hidden: int = 32
+    lr: float = 0.01
+    participation: float = 1.0
+    seed: int = 0
+
+    def federated_config(self) -> FederatedConfig:
+        return FederatedConfig(rounds=self.rounds,
+                               local_epochs=self.local_epochs, lr=self.lr,
+                               participation=self.participation,
+                               seed=self.seed)
+
+    def adafgl_config(self, **overrides) -> AdaFGLConfig:
+        config = AdaFGLConfig(rounds=self.rounds,
+                              local_epochs=self.local_epochs, lr=self.lr,
+                              hidden=self.hidden,
+                              personalized_epochs=self.personalized_epochs,
+                              participation=self.participation,
+                              seed=self.seed)
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
+def prepare_clients(dataset: str, split: str, settings: ExperimentSettings,
+                    injection: str = "random",
+                    graph: Optional[Graph] = None) -> List[Graph]:
+    """Load a dataset and apply the requested data-simulation strategy."""
+    if graph is None:
+        graph = load_dataset(dataset, seed=settings.seed)
+    if split == "community":
+        return community_split(graph, settings.num_clients, seed=settings.seed)
+    if split in ("structure", "structure-noniid", "noniid"):
+        return structure_noniid_split(graph, settings.num_clients,
+                                      seed=settings.seed, injection=injection)
+    raise ValueError(f"unknown split strategy '{split}'")
+
+
+def run_method(method: str, clients: Sequence[Graph],
+               settings: Optional[ExperimentSettings] = None,
+               adafgl_overrides: Optional[Dict] = None) -> Dict:
+    """Train one federated method and return its summary dictionary.
+
+    Returns keys: ``method``, ``accuracy`` (weighted test accuracy),
+    ``train_accuracy``, ``history`` (:class:`TrainingHistory`),
+    ``communication`` (float volume summary) and ``trainer``.
+    """
+    settings = settings or ExperimentSettings()
+    name = method.lower()
+    if name == "adafgl":
+        config = settings.adafgl_config(**(adafgl_overrides or {}))
+        trainer = AdaFGL(list(clients), config)
+        history = trainer.run()
+    else:
+        trainer = build_baseline(name, clients,
+                                 config=settings.federated_config(),
+                                 hidden=settings.hidden)
+        history = trainer.run()
+    return {
+        "method": method,
+        "accuracy": trainer.evaluate("test"),
+        "train_accuracy": trainer.evaluate("train"),
+        "history": history,
+        "communication": trainer.tracker.summary(),
+        "trainer": trainer,
+    }
+
+
+def compare_methods(methods: Sequence[str], clients: Sequence[Graph],
+                    settings: Optional[ExperimentSettings] = None) -> Dict[str, Dict]:
+    """Run several methods on the same client split and collect summaries."""
+    settings = settings or ExperimentSettings()
+    results = {}
+    for method in methods:
+        results[method] = run_method(method, clients, settings)
+    return results
+
+
+def available_methods() -> List[str]:
+    """Every runnable method name (baselines plus AdaFGL)."""
+    return list_baselines() + ["adafgl"]

@@ -1,0 +1,51 @@
+"""Plain-text table/series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "", float_format: str = "{:.3f}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(_line(row))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  float_format: str = "{:.3f}") -> str:
+    """Render an (x, y) series as a compact one-line-per-point listing."""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        y_str = float_format.format(y) if isinstance(y, float) else str(y)
+        lines.append(f"  {x}: {y_str}")
+    return "\n".join(lines)
+
+
+def best_method(results: Dict[str, Dict]) -> str:
+    """Name of the method with the highest test accuracy in a results dict."""
+    return max(results, key=lambda m: results[m]["accuracy"])

@@ -1,0 +1,27 @@
+"""Deterministic grid search replacing the paper's Optuna tuning."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Tuple
+
+
+def grid_search(objective: Callable[..., float],
+                grid: Dict[str, Iterable]) -> Tuple[Dict, float, List[Tuple[Dict, float]]]:
+    """Exhaustively evaluate ``objective(**params)`` over a parameter grid.
+
+    Returns ``(best_params, best_score, all_results)`` where ``all_results``
+    preserves evaluation order for reproducibility.
+    """
+    keys = sorted(grid)
+    best_params: Dict = {}
+    best_score = float("-inf")
+    all_results: List[Tuple[Dict, float]] = []
+    for values in itertools.product(*(list(grid[key]) for key in keys)):
+        params = dict(zip(keys, values))
+        score = float(objective(**params))
+        all_results.append((params, score))
+        if score > best_score:
+            best_score = score
+            best_params = params
+    return best_params, best_score, all_results

@@ -1,0 +1,15 @@
+"""Federated learning framework: clients, server, FedAvg trainer."""
+
+from repro.federated.client import Client
+from repro.federated.server import Server, fedavg_aggregate
+from repro.federated.trainer import FederatedTrainer, FederatedConfig
+from repro.federated.communication import CommunicationTracker
+
+__all__ = [
+    "Client",
+    "Server",
+    "fedavg_aggregate",
+    "FederatedTrainer",
+    "FederatedConfig",
+    "CommunicationTracker",
+]

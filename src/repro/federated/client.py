@@ -1,0 +1,112 @@
+"""Federated client: a private subgraph plus a local model and optimizer."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F, no_grad
+from repro.graph import Graph
+from repro.metrics import masked_accuracy
+from repro.nn import Module
+from repro.optim import Adam, clip_grad_norm
+
+
+class Client:
+    """One participant of federated training.
+
+    Parameters
+    ----------
+    client_id:
+        Integer identifier.
+    graph:
+        The locally-held private subgraph (never leaves the client).
+    model:
+        Local model instance; its architecture must match every other client
+        so that FedAvg can average parameters.
+    lr / weight_decay / local_epochs:
+        Local optimisation hyperparameters.
+    extra_loss:
+        Optional callable ``(client, logits) -> Tensor`` adding a method
+        specific regulariser (used by FedGL pseudo-labels, FedSage+ NeighGen
+        losses, AdaFGL knowledge preservation, ...).
+    """
+
+    def __init__(self, client_id: int, graph: Graph, model: Module,
+                 lr: float = 0.01, weight_decay: float = 5e-4,
+                 local_epochs: int = 5,
+                 extra_loss: Optional[Callable] = None):
+        self.client_id = client_id
+        self.graph = graph
+        self.model = model
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.local_epochs = local_epochs
+        self.extra_loss = extra_loss
+        self.optimizer = Adam(model.parameters(), lr=lr,
+                              weight_decay=weight_decay)
+        self._features = Tensor(graph.features)
+
+    # ------------------------------------------------------------------
+    # Weights exchange
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """FedAvg weighting: number of labelled training nodes."""
+        return max(1, int(self.graph.train_mask.sum()))
+
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def set_weights(self, state: Dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)
+
+    # ------------------------------------------------------------------
+    # Local training / inference
+    # ------------------------------------------------------------------
+    def forward(self) -> Tensor:
+        return self.model(self._features, self.graph.adjacency)
+
+    def local_train(self, epochs: Optional[int] = None) -> float:
+        """Run local supervised epochs; returns the mean training loss."""
+        epochs = epochs if epochs is not None else self.local_epochs
+        self.model.train()
+        losses = []
+        labels = self.graph.labels
+        mask = self.graph.train_mask
+        for _ in range(epochs):
+            self.optimizer.zero_grad()
+            logits = self.forward()
+            loss = F.cross_entropy(logits, labels, mask=mask)
+            if self.extra_loss is not None:
+                extra = self.extra_loss(self, logits)
+                if extra is not None:
+                    loss = loss + extra
+            loss.backward()
+            clip_grad_norm(self.model.parameters(), 5.0)
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def predict(self) -> np.ndarray:
+        """Class-probability predictions for every local node."""
+        self.model.eval()
+        with no_grad():
+            logits = self.forward()
+            probs = F.softmax(logits, axis=-1).numpy()
+        self.model.train()
+        return probs
+
+    def evaluate(self, split: str = "test") -> float:
+        """Accuracy on the requested split (``train``/``val``/``test``)."""
+        mask = getattr(self.graph, f"{split}_mask")
+        if mask.sum() == 0:
+            return 0.0
+        probs = self.predict()
+        return masked_accuracy(probs, self.graph.labels, mask)
+
+    def reset_optimizer(self) -> None:
+        """Re-create optimizer state (after receiving fresh global weights)."""
+        self.optimizer = Adam(self.model.parameters(), lr=self.lr,
+                              weight_decay=self.weight_decay)

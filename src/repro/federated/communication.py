@@ -1,0 +1,56 @@
+"""Communication-volume accounting used for the Table VIII comparison.
+
+Every federated method exchanges model parameters; some additionally ship
+node embeddings, predictions, gradients or masks.  The tracker records the
+number of float values uploaded/downloaded per round so that the paradigm
+comparison (Table VIII) can be backed by measured numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CommunicationTracker:
+    """Counts float values exchanged between clients and the server."""
+
+    uploaded: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    downloaded: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    rounds: int = 0
+
+    def record_upload(self, kind: str, num_values: float) -> None:
+        self.uploaded[kind] += float(num_values)
+
+    def record_download(self, kind: str, num_values: float) -> None:
+        self.downloaded[kind] += float(num_values)
+
+    def next_round(self) -> None:
+        self.rounds += 1
+
+    @property
+    def total_uploaded(self) -> float:
+        return float(sum(self.uploaded.values()))
+
+    @property
+    def total_downloaded(self) -> float:
+        return float(sum(self.downloaded.values()))
+
+    @property
+    def total(self) -> float:
+        return self.total_uploaded + self.total_downloaded
+
+    def per_round(self) -> float:
+        return self.total / max(1, self.rounds)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rounds": self.rounds,
+            "uploaded": self.total_uploaded,
+            "downloaded": self.total_downloaded,
+            "total": self.total,
+            "per_round": self.per_round(),
+            "kinds": sorted(set(self.uploaded) | set(self.downloaded)),
+        }

@@ -1,0 +1,57 @@
+"""Server-side model aggregation (Eq. 4 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def fedavg_aggregate(states: Sequence[Dict[str, np.ndarray]],
+                     weights: Optional[Sequence[float]] = None
+                     ) -> Dict[str, np.ndarray]:
+    """Weighted average of client state dicts (FedAvg, Eq. 4).
+
+    ``weights`` default to uniform; they are normalised internally.
+    """
+    if not states:
+        raise ValueError("fedavg_aggregate needs at least one state dict")
+    if weights is None:
+        weights = [1.0] * len(states)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape[0] != len(states):
+        raise ValueError("weights and states must have the same length")
+    if weights.sum() <= 0:
+        raise ValueError("aggregation weights must sum to a positive value")
+    weights = weights / weights.sum()
+
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise KeyError("client state dicts have mismatching parameter names")
+
+    aggregated: Dict[str, np.ndarray] = {}
+    for key in states[0]:
+        aggregated[key] = sum(w * state[key] for w, state in zip(weights, states))
+    return aggregated
+
+
+class Server:
+    """Central coordinator holding the current global model state."""
+
+    def __init__(self):
+        self.global_state: Optional[Dict[str, np.ndarray]] = None
+        self.round = 0
+
+    def aggregate(self, states: List[Dict[str, np.ndarray]],
+                  weights: Optional[List[float]] = None) -> Dict[str, np.ndarray]:
+        """Aggregate uploaded client states into a new global state."""
+        self.global_state = fedavg_aggregate(states, weights)
+        self.round += 1
+        return self.global_state
+
+    def broadcast(self) -> Dict[str, np.ndarray]:
+        """Return a copy of the global state to send to a client."""
+        if self.global_state is None:
+            raise RuntimeError("no global model has been aggregated yet")
+        return {key: value.copy() for key, value in self.global_state.items()}

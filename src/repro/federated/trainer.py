@@ -1,0 +1,182 @@
+"""Generic federated training loop (FedAvg) with hooks for FGL baselines.
+
+The trainer owns a list of :class:`~repro.federated.client.Client` objects and
+a :class:`~repro.federated.server.Server`.  Subclasses customise behaviour by
+overriding:
+
+* :meth:`aggregate` — how uploaded states are combined (e.g. clustered or
+  similarity-weighted aggregation);
+* :meth:`personalize` — what each client receives back (FedAvg broadcasts the
+  same state to everyone; personalized methods may differ per client);
+* :meth:`before_round` / :meth:`after_round` — cross-client interactions
+  (pseudo-label sharing, neighbour generation, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.federated.client import Client
+from repro.federated.communication import CommunicationTracker
+from repro.federated.server import Server, fedavg_aggregate
+from repro.graph import Graph
+from repro.metrics import TrainingHistory
+from repro.nn import Module
+
+
+@dataclass
+class FederatedConfig:
+    """Hyperparameters of federated collaborative training."""
+
+    rounds: int = 20
+    local_epochs: int = 3
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    participation: float = 1.0
+    seed: int = 0
+    eval_every: int = 1
+
+
+class FederatedTrainer:
+    """Standard FedAvg collaborative training over client subgraphs."""
+
+    #: label used in communication accounting and Table VIII
+    name = "FedAvg"
+
+    def __init__(self, subgraphs: Sequence[Graph],
+                 model_factory: Callable[[Graph], Module],
+                 config: Optional[FederatedConfig] = None):
+        self.config = config or FederatedConfig()
+        self.server = Server()
+        self.tracker = CommunicationTracker()
+        self.history = TrainingHistory()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.clients: List[Client] = []
+        for index, graph in enumerate(subgraphs):
+            model = model_factory(graph)
+            client = Client(
+                client_id=index, graph=graph, model=model,
+                lr=self.config.lr, weight_decay=self.config.weight_decay,
+                local_epochs=self.config.local_epochs)
+            self.clients.append(client)
+        if not self.clients:
+            raise ValueError("federated training requires at least one client")
+        # All clients start from identical weights (the usual FL convention).
+        initial = self.clients[0].get_weights()
+        for client in self.clients[1:]:
+            client.set_weights(initial)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def before_round(self, round_index: int,
+                     participants: List[Client]) -> None:
+        """Cross-client interaction hook executed before local training."""
+
+    def after_round(self, round_index: int,
+                    participants: List[Client]) -> None:
+        """Hook executed after aggregation and broadcasting."""
+
+    def aggregate(self, states: List[Dict[str, np.ndarray]],
+                  weights: List[float],
+                  participants: List[Client]) -> Dict[str, np.ndarray]:
+        """Combine uploaded client states (default: FedAvg)."""
+        return self.server.aggregate(states, weights)
+
+    def personalize(self, client: Client,
+                    global_state: Dict[str, np.ndarray]
+                    ) -> Dict[str, np.ndarray]:
+        """Return the state this client should load (default: the global one)."""
+        return global_state
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def _select_participants(self) -> List[Client]:
+        count = max(1, int(round(self.config.participation * len(self.clients))))
+        if count >= len(self.clients):
+            return list(self.clients)
+        chosen = self._rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[i] for i in sorted(chosen)]
+
+    def run(self, rounds: Optional[int] = None) -> TrainingHistory:
+        """Execute federated collaborative training and return the history."""
+        rounds = rounds if rounds is not None else self.config.rounds
+        for round_index in range(1, rounds + 1):
+            participants = self._select_participants()
+            self.before_round(round_index, participants)
+
+            states, weights, losses = [], [], []
+            for client in participants:
+                loss = client.local_train()
+                state = client.get_weights()
+                states.append(state)
+                weights.append(client.num_samples)
+                losses.append(loss)
+                self.tracker.record_upload(
+                    "model_parameters", sum(v.size for v in state.values()))
+
+            global_state = self.aggregate(states, weights, participants)
+
+            for client in self.clients:
+                personalized = self.personalize(client, global_state)
+                client.set_weights(personalized)
+                self.tracker.record_download(
+                    "model_parameters",
+                    sum(v.size for v in personalized.values()))
+            self.tracker.next_round()
+
+            self.after_round(round_index, participants)
+
+            if round_index % self.config.eval_every == 0 or round_index == rounds:
+                train_acc = self.evaluate("train")
+                test_acc = self.evaluate("test")
+                per_client = {c.client_id: c.evaluate("test")
+                              for c in self.clients}
+                self.history.record(round_index, train_acc, test_acc,
+                                    float(np.mean(losses)), per_client)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, split: str = "test") -> float:
+        """Test-node-weighted average accuracy across all clients."""
+        total_correct_weight = 0.0
+        total_nodes = 0
+        for client in self.clients:
+            mask = getattr(client.graph, f"{split}_mask")
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            total_correct_weight += client.evaluate(split) * count
+            total_nodes += count
+        if total_nodes == 0:
+            return 0.0
+        return total_correct_weight / total_nodes
+
+    def client_reports(self, split: str = "test"):
+        """Per-client accuracy breakdown (Fig. 2(d))."""
+        from repro.graph import edge_homophily
+        from repro.metrics import ClientReport
+
+        reports = []
+        for client in self.clients:
+            mask = getattr(client.graph, f"{split}_mask")
+            reports.append(ClientReport(
+                client_id=client.client_id,
+                num_nodes=client.graph.num_nodes,
+                num_test_nodes=int(mask.sum()),
+                accuracy=client.evaluate(split),
+                homophily=edge_homophily(client.graph.adjacency,
+                                         client.graph.labels),
+            ))
+        return reports
+
+    @property
+    def global_state(self) -> Dict[str, np.ndarray]:
+        """The latest aggregated global model (the federated knowledge)."""
+        return self.server.broadcast()

@@ -1,0 +1,25 @@
+"""Federated graph learning baselines evaluated in the paper.
+
+* Federated implementations of centralised GNNs (FedGCN, FedGCNII, FedGAMLP,
+  FedGPRGNN, FedGGCN, FedGloGNN) — plain FedAvg over the corresponding model.
+* FGL-specific methods: FedGL, GCFL+, FedSage+, FED-PUB.
+"""
+
+from repro.fgl.fedgnn import FederatedGNN, make_model_factory
+from repro.fgl.fedgl import FedGL
+from repro.fgl.gcfl import GCFLPlus
+from repro.fgl.fedsage import FedSagePlus
+from repro.fgl.fedpub import FedPub
+from repro.fgl.registry import BASELINE_REGISTRY, build_baseline, list_baselines
+
+__all__ = [
+    "FederatedGNN",
+    "make_model_factory",
+    "FedGL",
+    "GCFLPlus",
+    "FedSagePlus",
+    "FedPub",
+    "BASELINE_REGISTRY",
+    "build_baseline",
+    "list_baselines",
+]

@@ -1,0 +1,33 @@
+"""Graph container, normalisation operators and homophily metrics."""
+
+from repro.graph.graph import Graph
+from repro.graph.normalize import (
+    add_self_loops,
+    normalize_adjacency,
+    row_normalize,
+    to_symmetric,
+)
+from repro.graph.homophily import node_homophily, edge_homophily, class_homophily
+from repro.graph.utils import (
+    edges_from_adjacency,
+    adjacency_from_edges,
+    k_hop_adjacency,
+    largest_connected_component,
+    subgraph,
+)
+
+__all__ = [
+    "Graph",
+    "add_self_loops",
+    "normalize_adjacency",
+    "row_normalize",
+    "to_symmetric",
+    "node_homophily",
+    "edge_homophily",
+    "class_homophily",
+    "edges_from_adjacency",
+    "adjacency_from_edges",
+    "k_hop_adjacency",
+    "largest_connected_component",
+    "subgraph",
+]

@@ -1,0 +1,72 @@
+"""Topological homophily metrics (Eq. 2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _edge_list(adjacency: sp.spmatrix) -> tuple:
+    coo = sp.coo_matrix(adjacency)
+    mask = coo.row != coo.col
+    return coo.row[mask], coo.col[mask]
+
+
+def edge_homophily(adjacency: sp.spmatrix, labels: np.ndarray) -> float:
+    """Fraction of edges connecting same-label endpoints (Eq. 2, H_edge)."""
+    labels = np.asarray(labels)
+    rows, cols = _edge_list(adjacency)
+    if rows.size == 0:
+        return 1.0
+    return float(np.mean(labels[rows] == labels[cols]))
+
+
+def node_homophily(adjacency: sp.spmatrix, labels: np.ndarray) -> float:
+    """Average per-node fraction of same-label neighbours (Eq. 2, H_node)."""
+    labels = np.asarray(labels)
+    adjacency = sp.csr_matrix(adjacency)
+    n = adjacency.shape[0]
+    scores = []
+    indptr, indices = adjacency.indptr, adjacency.indices
+    for v in range(n):
+        neigh = indices[indptr[v]:indptr[v + 1]]
+        neigh = neigh[neigh != v]
+        if neigh.size == 0:
+            continue
+        scores.append(np.mean(labels[neigh] == labels[v]))
+    if not scores:
+        return 1.0
+    return float(np.mean(scores))
+
+
+def class_homophily(adjacency: sp.spmatrix, labels: np.ndarray) -> float:
+    """Class-insensitive homophily (Lim et al., 2021).
+
+    Subtracts the expected same-class rate under a label-shuffled null model,
+    clipping negative contributions to zero, and averages over classes.
+    """
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1 if labels.size else 0
+    if num_classes <= 1:
+        return 1.0
+    adjacency = sp.csr_matrix(adjacency)
+    indptr, indices = adjacency.indptr, adjacency.indices
+    class_fraction = np.bincount(labels, minlength=num_classes) / labels.size
+
+    per_class = np.zeros(num_classes)
+    counts = np.zeros(num_classes)
+    for v in range(adjacency.shape[0]):
+        neigh = indices[indptr[v]:indptr[v + 1]]
+        neigh = neigh[neigh != v]
+        if neigh.size == 0:
+            continue
+        k = labels[v]
+        per_class[k] += np.mean(labels[neigh] == k)
+        counts[k] += 1
+
+    total = 0.0
+    for k in range(num_classes):
+        if counts[k] == 0:
+            continue
+        total += max(0.0, per_class[k] / counts[k] - class_fraction[k])
+    return float(total / (num_classes - 1))

@@ -1,0 +1,60 @@
+"""Adjacency normalisation operators (Eq. 1 of the paper).
+
+``normalize_adjacency`` implements ``D^{r-1} Â D^{-r}``: ``r = 1/2`` gives the
+GCN symmetric normalisation, ``r = 1`` the random-walk operator ``Â D^{-1}``
+and ``r = 0`` the reverse-transition operator ``D^{-1} Â``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def to_symmetric(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Symmetrise an adjacency matrix (logical OR of A and Aᵀ), binary weights."""
+    adjacency = sp.csr_matrix(adjacency)
+    sym = adjacency.maximum(adjacency.T)
+    sym.data = np.ones_like(sym.data)
+    sym.setdiag(0)
+    sym.eliminate_zeros()
+    return sym.tocsr()
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I``."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    n = adjacency.shape[0]
+    return (adjacency + weight * sp.eye(n, format="csr")).tocsr()
+
+
+def normalize_adjacency(adjacency: sp.spmatrix, r: float = 0.5,
+                        self_loops: bool = True) -> sp.csr_matrix:
+    """Generalised degree normalisation ``D^{r-1} Â D^{-r}`` (Eq. 1).
+
+    Parameters
+    ----------
+    adjacency:
+        Sparse adjacency matrix.
+    r:
+        Convolution kernel coefficient in ``[0, 1]``.
+    self_loops:
+        Whether to add self-loops before normalising (GCN convention).
+    """
+    if not 0.0 <= r <= 1.0:
+        raise ValueError("normalisation coefficient r must be in [0, 1]")
+    matrix = add_self_loops(adjacency) if self_loops else sp.csr_matrix(
+        adjacency, dtype=np.float64)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    degrees[degrees == 0] = 1.0
+    left = sp.diags(np.power(degrees, r - 1.0))
+    right = sp.diags(np.power(degrees, -r))
+    return (left @ matrix @ right).tocsr()
+
+
+def row_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalise a dense non-negative matrix so rows sum to one."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    sums = matrix.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return matrix / sums

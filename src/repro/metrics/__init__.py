@@ -1,0 +1,18 @@
+"""Evaluation metrics and training-history tracking."""
+
+from repro.metrics.classification import accuracy, masked_accuracy, macro_f1
+from repro.metrics.history import TrainingHistory, ClientReport
+from repro.metrics.distribution import (
+    client_label_distribution,
+    client_topology_distribution,
+)
+
+__all__ = [
+    "accuracy",
+    "masked_accuracy",
+    "macro_f1",
+    "TrainingHistory",
+    "ClientReport",
+    "client_label_distribution",
+    "client_topology_distribution",
+]

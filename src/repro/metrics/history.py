@@ -1,0 +1,59 @@
+"""Training-history containers used for convergence-curve figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ClientReport:
+    """Per-client evaluation snapshot."""
+
+    client_id: int
+    num_nodes: int
+    num_test_nodes: int
+    accuracy: float
+    homophily: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulates per-round metrics during federated training."""
+
+    rounds: List[int] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    loss: List[float] = field(default_factory=list)
+    client_accuracy: List[Dict[int, float]] = field(default_factory=list)
+
+    def record(self, round_index: int, train_acc: float, test_acc: float,
+               loss: float, per_client: Optional[Dict[int, float]] = None) -> None:
+        self.rounds.append(round_index)
+        self.train_accuracy.append(train_acc)
+        self.test_accuracy.append(test_acc)
+        self.loss.append(loss)
+        self.client_accuracy.append(dict(per_client or {}))
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+    def rounds_to_reach(self, threshold: float) -> Optional[int]:
+        """First round whose test accuracy reaches ``threshold`` (or None)."""
+        for round_index, acc in zip(self.rounds, self.test_accuracy):
+            if acc >= threshold:
+                return round_index
+        return None
+
+    def as_dict(self) -> Dict[str, list]:
+        return {
+            "rounds": list(self.rounds),
+            "train_accuracy": list(self.train_accuracy),
+            "test_accuracy": list(self.test_accuracy),
+            "loss": list(self.loss),
+        }

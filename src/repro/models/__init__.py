@@ -1,0 +1,40 @@
+"""Centralised GNN models used as local learners inside the federated setting.
+
+Homophilous models: :class:`GCN`, :class:`SGC`, :class:`GCNII`, :class:`GAMLP`.
+Heterophilous models: :class:`GPRGNN`, :class:`GGCN`, :class:`GloGNN`.
+Feature-only baseline: :class:`repro.nn.MLP` (re-exported here).
+"""
+
+from repro.nn import MLP
+from repro.models.base import GraphModel, prepare_propagation
+from repro.models.gcn import GCN, SGC
+from repro.models.gcnii import GCNII
+from repro.models.gamlp import GAMLP
+from repro.models.gprgnn import GPRGNN
+from repro.models.ggcn import GGCN
+from repro.models.glognn import GloGNN
+
+MODEL_REGISTRY = {
+    "mlp": MLP,
+    "gcn": GCN,
+    "sgc": SGC,
+    "gcnii": GCNII,
+    "gamlp": GAMLP,
+    "gprgnn": GPRGNN,
+    "ggcn": GGCN,
+    "glognn": GloGNN,
+}
+
+__all__ = [
+    "GraphModel",
+    "prepare_propagation",
+    "MLP",
+    "GCN",
+    "SGC",
+    "GCNII",
+    "GAMLP",
+    "GPRGNN",
+    "GGCN",
+    "GloGNN",
+    "MODEL_REGISTRY",
+]

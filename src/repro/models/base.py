@@ -1,0 +1,60 @@
+"""Common interface for graph models.
+
+Every model implements ``forward(x, adjacency)`` where ``x`` is a feature
+:class:`~repro.autograd.Tensor` and ``adjacency`` is the *raw* (unnormalised)
+sparse adjacency of the local subgraph; each model applies its own propagation
+operator internally and caches it keyed on the adjacency object's id, so
+repeated epochs over the same subgraph do not re-normalise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor
+from repro.graph.normalize import normalize_adjacency
+from repro.nn import Module
+
+
+def prepare_propagation(adjacency: sp.spmatrix, r: float = 0.5,
+                        self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric-normalised propagation operator (Eq. 1 with r = 1/2)."""
+    return normalize_adjacency(adjacency, r=r, self_loops=self_loops)
+
+
+class GraphModel(Module):
+    """Base class providing propagation-operator caching."""
+
+    def __init__(self):
+        super().__init__()
+        self._prop_cache: Dict[int, sp.csr_matrix] = {}
+
+    def propagation_matrix(self, adjacency: sp.spmatrix,
+                           r: float = 0.5) -> sp.csr_matrix:
+        key = id(adjacency)
+        if key not in self._prop_cache:
+            # Keep the cache tiny: one operator per adjacency object.
+            if len(self._prop_cache) > 8:
+                self._prop_cache.clear()
+            self._prop_cache[key] = prepare_propagation(adjacency, r=r)
+        return self._prop_cache[key]
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        raise NotImplementedError
+
+    def predict_probabilities(self, x, adjacency) -> np.ndarray:
+        """Convenience inference helper returning softmax probabilities."""
+        from repro.autograd import functional as F
+        from repro.autograd import no_grad
+
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            logits = self.forward(F.as_tensor(x), adjacency)
+            probs = F.softmax(logits, axis=-1).numpy()
+        if was_training:
+            self.train()
+        return probs

@@ -1,0 +1,44 @@
+"""GAMLP (Zhang et al., 2022): attention over multi-hop propagated features."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, functional as F
+from repro.models.base import GraphModel
+from repro.nn import MLP
+from repro.nn.module import Parameter
+
+
+class GAMLP(GraphModel):
+    """Decoupled GNN: hop-wise attention combination + MLP classifier.
+
+    Features are propagated ``k`` hops without parameters; a learnable hop
+    gate (softmax over hop logits, the "recursive attention" simplification)
+    combines the propagated views, and an MLP produces logits.
+    """
+
+    def __init__(self, in_features: int, hidden: int, out_features: int,
+                 k: int = 3, dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.hop_logits = Parameter(np.zeros(k + 1), name="hop_logits")
+        self.classifier = MLP(in_features, [hidden], out_features,
+                              dropout=dropout, seed=seed)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        prop = self.propagation_matrix(adjacency)
+        hops = [x]
+        current = x
+        for _ in range(self.k):
+            current = F.spmm(prop, current)
+            hops.append(current)
+        gates = F.softmax(self.hop_logits.reshape(1, -1), axis=-1)
+        combined = None
+        for index, hop in enumerate(hops):
+            weighted = hop * gates[0, index]
+            combined = weighted if combined is None else combined + weighted
+        return self.classifier(combined)

@@ -1,0 +1,62 @@
+"""GCN (Kipf & Welling, 2017) and SGC (Wu et al., 2019)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, functional as F
+from repro.models.base import GraphModel
+from repro.nn import Dropout, Linear
+
+
+class GCN(GraphModel):
+    """Two-layer graph convolutional network with symmetric normalisation.
+
+    ``X^{(l)} = σ(Ã X^{(l-1)} W^{(l)})`` with ``Ã = D^{-1/2} Â D^{-1/2}``.
+    """
+
+    def __init__(self, in_features: int, hidden: int, out_features: int,
+                 num_layers: int = 2, dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [out_features]
+        self._layer_names = []
+        for index, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            name = f"conv{index}"
+            setattr(self, name, Linear(fan_in, fan_out, rng=rng))
+            self._layer_names.append(name)
+        self.dropout = Dropout(dropout, seed=seed + 1)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        prop = self.propagation_matrix(adjacency)
+        last = len(self._layer_names) - 1
+        for index, name in enumerate(self._layer_names):
+            x = F.spmm(prop, x)
+            x = getattr(self, name)(x)
+            if index != last:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+
+class SGC(GraphModel):
+    """Simplified GCN: a linear model on k-step propagated features."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 2,
+                 seed: int = 0, hidden: int = 0, dropout: float = 0.0):
+        super().__init__()
+        del hidden, dropout  # signature compatibility with other models
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.linear = Linear(in_features, out_features,
+                             rng=np.random.default_rng(seed))
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        prop = self.propagation_matrix(adjacency)
+        for _ in range(self.k):
+            x = F.spmm(prop, x)
+        return self.linear(x)

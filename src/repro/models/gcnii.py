@@ -1,0 +1,47 @@
+"""GCNII (Chen et al., 2020): deep GCN with initial residual and identity map."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, functional as F
+from repro.models.base import GraphModel
+from repro.nn import Dropout, Linear
+
+
+class GCNII(GraphModel):
+    """GCNII layer stack.
+
+    Each layer computes ``H = σ(((1-α) Ã H + α H⁰)((1-β_l) I + β_l W_l))``
+    where ``H⁰`` is the input projection and ``β_l = λ / l``.
+    """
+
+    def __init__(self, in_features: int, hidden: int, out_features: int,
+                 num_layers: int = 4, alpha: float = 0.1, lam: float = 0.5,
+                 dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.alpha = alpha
+        self.lam = lam
+        self.num_layers = num_layers
+        self.input_proj = Linear(in_features, hidden, rng=rng)
+        self._layer_names = []
+        for index in range(num_layers):
+            name = f"conv{index}"
+            setattr(self, name, Linear(hidden, hidden, bias=False, rng=rng))
+            self._layer_names.append(name)
+        self.output_proj = Linear(hidden, out_features, rng=rng)
+        self.dropout = Dropout(dropout, seed=seed + 1)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        prop = self.propagation_matrix(adjacency)
+        h0 = F.relu(self.input_proj(self.dropout(x)))
+        h = h0
+        for index, name in enumerate(self._layer_names):
+            beta = self.lam / (index + 1)
+            support = F.spmm(prop, h) * (1.0 - self.alpha) + h0 * self.alpha
+            transformed = getattr(self, name)(support)
+            h = F.relu(support * (1.0 - beta) + transformed * beta)
+            h = self.dropout(h)
+        return self.output_proj(h)

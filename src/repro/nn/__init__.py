@@ -1,0 +1,21 @@
+"""Minimal neural-network layer library built on :mod:`repro.autograd`."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, MLP, Dropout, Identity, Sequential
+from repro.nn.init import glorot_uniform, zeros_init, he_uniform
+from repro.nn.losses import CrossEntropyLoss, KnowledgePreservingLoss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "glorot_uniform",
+    "zeros_init",
+    "he_uniform",
+    "CrossEntropyLoss",
+    "KnowledgePreservingLoss",
+]

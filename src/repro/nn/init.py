@@ -1,0 +1,24 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a (fan_in, fan_out) matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int,
+               rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suited to ReLU activations)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros_init(*shape: int) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,106 @@
+"""Dense layers used by the GNN models."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.init import glorot_uniform, zeros_init
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_uniform(in_features, out_features, rng),
+                                name="weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(zeros_init(out_features), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout layer; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and dropout.
+
+    ``hidden_dims`` may be empty, in which case the model reduces to a single
+    linear layer (logistic regression when followed by softmax).
+    """
+
+    def __init__(self, in_features: int, hidden_dims: Sequence[int],
+                 out_features: int, dropout: float = 0.0,
+                 activation: Callable[[Tensor], Tensor] = F.relu,
+                 bias: bool = True, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + list(hidden_dims) + [out_features]
+        self._layer_names = []
+        for index, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            name = f"lin{index}"
+            setattr(self, name, Linear(fan_in, fan_out, bias=bias, rng=rng))
+            self._layer_names.append(name)
+        self.activation = activation
+        self.dropout = Dropout(dropout, seed=seed + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self._layer_names) - 1
+        for index, name in enumerate(self._layer_names):
+            x = getattr(self, name)(x)
+            if index != last:
+                x = self.activation(x)
+                x = self.dropout(x)
+        return x

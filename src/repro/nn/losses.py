@@ -1,0 +1,30 @@
+"""Loss functions wrapped as callables (Eq. 3, Eq. 8, Eq. 14 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+
+
+class CrossEntropyLoss:
+    """Cross-entropy over the supervised node set (Eq. 3)."""
+
+    def __call__(self, logits: Tensor, labels: np.ndarray,
+                 mask: Optional[np.ndarray] = None) -> Tensor:
+        return F.cross_entropy(logits, labels, mask=mask)
+
+
+class KnowledgePreservingLoss:
+    """Frobenius discrepancy between knowledge and local embeddings (Eq. 8).
+
+    ``weight`` rescales the term so it does not dominate the supervised loss.
+    """
+
+    def __init__(self, weight: float = 1.0):
+        self.weight = weight
+
+    def __call__(self, knowledge_embedding: Tensor, reference) -> Tensor:
+        return F.frobenius_loss(knowledge_embedding, reference) * self.weight

@@ -1,0 +1,5 @@
+"""Gradient-descent optimizers."""
+
+from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = ["SGD", "Adam", "Optimizer", "clip_grad_norm"]

@@ -1,0 +1,11 @@
+"""Graph partitioning algorithms used by the data-simulation strategies."""
+
+from repro.partition.louvain import louvain_communities
+from repro.partition.metis import metis_partition
+from repro.partition.assign import assign_communities_to_clients
+
+__all__ = [
+    "louvain_communities",
+    "metis_partition",
+    "assign_communities_to_clients",
+]

@@ -1,0 +1,26 @@
+"""Distributed-subgraph simulation strategies (Sec. II & IV of the paper)."""
+
+from repro.simulation.splits import community_split, structure_noniid_split
+from repro.simulation.injection import (
+    random_injection,
+    meta_injection,
+    inject_homophilous_edges,
+    inject_heterophilous_edges,
+)
+from repro.simulation.sparsity import (
+    feature_sparsity,
+    edge_sparsity,
+    label_sparsity,
+)
+
+__all__ = [
+    "community_split",
+    "structure_noniid_split",
+    "random_injection",
+    "meta_injection",
+    "inject_homophilous_edges",
+    "inject_heterophilous_edges",
+    "feature_sparsity",
+    "edge_sparsity",
+    "label_sparsity",
+]

@@ -1,0 +1,63 @@
+"""Sparse-setting simulators for Sec. IV-E (Fig. 10).
+
+* feature sparsity — zero out features of a fraction of unlabeled nodes;
+* edge sparsity — randomly remove a fraction of edges;
+* label sparsity — reduce the fraction of labelled (training) nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import Graph
+from repro.graph.utils import adjacency_from_edges, edges_from_adjacency
+
+
+def feature_sparsity(graph: Graph, missing_ratio: float, seed: int = 0) -> Graph:
+    """Zero the features of ``missing_ratio`` of the unlabeled nodes."""
+    if not 0.0 <= missing_ratio <= 1.0:
+        raise ValueError("missing_ratio must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    out = graph.copy()
+    unlabeled = np.nonzero(~graph.train_mask)[0]
+    count = int(round(missing_ratio * unlabeled.size))
+    if count:
+        victims = rng.choice(unlabeled, size=count, replace=False)
+        out.features[victims] = 0.0
+        out.metadata["missing_features"] = victims
+    return out
+
+
+def edge_sparsity(graph: Graph, drop_ratio: float, seed: int = 0) -> Graph:
+    """Randomly remove ``drop_ratio`` of the undirected edges."""
+    if not 0.0 <= drop_ratio <= 1.0:
+        raise ValueError("drop_ratio must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = edges_from_adjacency(graph.adjacency)
+    keep = rng.random(edges.shape[0]) >= drop_ratio
+    adjacency = adjacency_from_edges(edges[keep], graph.num_nodes)
+    out = graph.with_adjacency(adjacency)
+    out.metadata["dropped_edges"] = int((~keep).sum())
+    return out
+
+
+def label_sparsity(graph: Graph, train_ratio: float, seed: int = 0) -> Graph:
+    """Reduce the labelled training set to ``train_ratio`` of all nodes.
+
+    The remaining original training nodes are moved to the unlabeled pool but
+    keep their membership in the test mask untouched.
+    """
+    if not 0.0 < train_ratio <= 1.0:
+        raise ValueError("train_ratio must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    out = graph.copy()
+    train_nodes = graph.train_indices()
+    target = max(1, int(round(train_ratio * graph.num_nodes)))
+    if target >= train_nodes.size:
+        return out
+    keep = rng.choice(train_nodes, size=target, replace=False)
+    new_mask = np.zeros(graph.num_nodes, dtype=bool)
+    new_mask[keep] = True
+    out.train_mask = new_mask
+    out.metadata["label_sparsity"] = train_ratio
+    return out

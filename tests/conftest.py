@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic graphs and client splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSBMConfig, generate_csbm, load_dataset, make_split_masks
+from repro.graph import Graph
+from repro.simulation import community_split, structure_noniid_split
+
+
+def small_csbm(num_nodes=120, num_classes=3, homophily=0.8, seed=0,
+               num_features=16, avg_degree=6.0, signal=1.2) -> Graph:
+    """Small labelled graph used across the test suite."""
+    config = CSBMConfig(
+        num_nodes=num_nodes, num_classes=num_classes, num_features=num_features,
+        avg_degree=avg_degree, edge_homophily=homophily, feature_signal=signal,
+        blocks_per_class=2, seed=seed, name=f"test-{homophily}")
+    graph = generate_csbm(config)
+    make_split_masks(graph, 0.4, 0.3, 0.3, seed=seed)
+    graph.metadata["num_classes"] = num_classes
+    return graph
+
+
+@pytest.fixture(scope="session")
+def homophilous_graph() -> Graph:
+    return small_csbm(num_nodes=150, homophily=0.85, seed=1)
+
+
+@pytest.fixture(scope="session")
+def heterophilous_graph() -> Graph:
+    return small_csbm(num_nodes=150, homophily=0.2, seed=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """Very small graph for expensive per-test operations."""
+    return small_csbm(num_nodes=60, num_classes=3, homophily=0.8, seed=3,
+                      num_features=8, avg_degree=5.0)
+
+
+@pytest.fixture(scope="session")
+def community_clients(homophilous_graph):
+    return community_split(homophilous_graph, 3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def noniid_clients(homophilous_graph):
+    return structure_noniid_split(homophilous_graph, 3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cora_small() -> Graph:
+    return load_dataset("cora", seed=0, num_nodes=200)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,290 @@
+"""Unit tests for the Tensor type and reverse-mode differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled
+
+
+def numerical_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of a numpy array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_construction_casts_dtype(self):
+        t = Tensor(np.array([1, 2], dtype=np.int32))
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.array_equal(d.data, t.data)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_properties(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.ndim == 2
+        assert t.size == 6
+        assert t.T.shape == (3, 2)
+
+    def test_zeros_ones_eye(self):
+        assert np.array_equal(Tensor.zeros((2, 2)).data, np.zeros((2, 2)))
+        assert np.array_equal(Tensor.ones((2,)).data, np.ones(2))
+        assert np.array_equal(Tensor.eye(3).data, np.eye(3))
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t.sum()).backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_add_scalar(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a + 5.0).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_sub_gradient(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [-1.0, -1.0])
+
+    def test_rsub(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = 10.0 - a
+        assert np.allclose(out.data, [9.0, 8.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_mul_gradient(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_gradient(self):
+        a = Tensor(np.array([6.0]), requires_grad=True)
+        b = Tensor(np.array([3.0]), requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [1.0 / 3.0])
+        assert np.allclose(b.grad, [-6.0 / 9.0])
+
+    def test_neg(self):
+        a = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_gradient(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (a ** 3).sum().backward()
+        assert np.allclose(a.grad, [12.0, 27.0])
+
+    def test_matmul_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 2))
+
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+
+        num_a = numerical_gradient(lambda x: (x @ b_data).sum(), a_data.copy())
+        num_b = numerical_gradient(lambda x: (a_data @ x).sum(), b_data.copy())
+        assert np.allclose(a.grad, num_a, atol=1e-5)
+        assert np.allclose(b.grad, num_b, atol=1e-5)
+
+    def test_broadcast_add_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        (x + bias).sum().backward()
+        assert bias.grad.shape == (3,)
+        assert np.allclose(bias.grad, [4.0, 4.0, 4.0])
+
+    def test_broadcast_mul_scalar_tensor(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (x * s).sum().backward()
+        assert np.allclose(x.grad, 2.0 * np.ones((2, 3)))
+        assert np.allclose(s.grad, 6.0)
+
+    def test_gradient_accumulates_on_reuse(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a * 2 + a * 3
+        out.sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_chain_of_operations_numerical(self):
+        rng = np.random.default_rng(1)
+        x_data = rng.normal(size=(5, 3))
+
+        def fn(x):
+            return float(np.sum((x @ np.ones((3, 2))) ** 2) / x.size)
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        y = ((x @ Tensor(np.ones((3, 2)))) ** 2).sum() * (1.0 / x_data.size)
+        y.backward()
+        numerical = numerical_gradient(fn, x_data.copy())
+        assert np.allclose(x.grad, numerical, atol=1e-5)
+
+
+class TestShapingOps:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 3)
+        out.sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 3)))
+
+    def test_sum_axis_no_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1)
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean(self):
+        x = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, [0.5, 0.5])
+
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+        assert np.allclose(x.grad, np.ones(6))
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x.T * Tensor(np.ones((3, 2)))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_getitem_rows(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = x[np.array([0, 2])]
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[[0, 2]] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_fancy_pairs(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = x[np.array([0, 1]), np.array([2, 0])]
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[0, 2] = 1.0
+        expected[1, 0] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        out = x[np.array([1, 1])]
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 2.0, 0.0])
+
+
+class TestElementwiseFunctions:
+    def test_relu_forward_and_grad(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        out = x.relu()
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_exp_log_inverse(self):
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        out = x.exp().log()
+        assert np.allclose(out.data, x.data)
+
+    def test_log_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        x.log().sum().backward()
+        assert np.allclose(x.grad, [0.5])
+
+    def test_sigmoid_range(self):
+        x = Tensor(np.linspace(-10, 10, 7))
+        out = x.sigmoid()
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_sigmoid_gradient_at_zero(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.sigmoid().sum().backward()
+        assert np.allclose(x.grad, [0.25])
+
+    def test_tanh_gradient(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.tanh().sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_clip_gradient_mask(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested_exception_safe(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_constants_do_not_track(self):
+        a = Tensor(np.ones(2), requires_grad=False)
+        out = a * 3 + 1
+        assert not out.requires_grad

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+FAST_ARGS = ["--clients", "3", "--rounds", "2", "--epochs", "1",
+             "--nodes", "150", "--seed", "0"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "adafgl"
+        assert args.dataset == "cora"
+        assert args.split == "community"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "fedmagic"])
+
+    def test_compare_accepts_multiple_methods(self):
+        args = build_parser().parse_args(
+            ["compare", "--methods", "fedgcn", "adafgl"])
+        assert args.methods == ["fedgcn", "adafgl"]
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "squirrel" in out
+
+    def test_run_command_baseline(self, capsys):
+        code = main(["run", "--method", "fedgcn", "--dataset", "cora",
+                     "--split", "community"] + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedgcn" in out
+        assert "test accuracy" in out
+
+    def test_run_command_adafgl_structure(self, capsys):
+        code = main(["run", "--method", "adafgl", "--dataset", "citeseer",
+                     "--split", "structure"] + FAST_ARGS)
+        assert code == 0
+        assert "adafgl" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "--dataset", "cora", "--methods", "fedgcn",
+                     "fedmlp"] + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedgcn" in out and "fedmlp" in out
+
+    def test_hcs_command(self, capsys):
+        code = main(["hcs", "--dataset", "cora", "--split", "structure"]
+                    + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HCS" in out
+        assert "overall test accuracy" in out

@@ -1,0 +1,147 @@
+"""Tests for the cSBM generator, dataset registry and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CSBMConfig,
+    DATASET_REGISTRY,
+    dataset_statistics,
+    generate_csbm,
+    inductive_partition,
+    list_datasets,
+    load_dataset,
+    make_split_masks,
+)
+from repro.graph import edge_homophily, largest_connected_component
+
+
+class TestCSBM:
+    def test_shapes(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=200, num_classes=4,
+                                         num_features=10, seed=0))
+        assert graph.num_nodes == 200
+        assert graph.num_features == 10
+        assert graph.labels.max() == 3
+
+    def test_homophily_target_high(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=400, edge_homophily=0.85,
+                                         avg_degree=8, seed=1))
+        assert edge_homophily(graph.adjacency, graph.labels) > 0.7
+
+    def test_homophily_target_low(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=400, edge_homophily=0.2,
+                                         avg_degree=8, seed=1))
+        assert edge_homophily(graph.adjacency, graph.labels) < 0.35
+
+    def test_connected(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=150, avg_degree=3, seed=2))
+        assert largest_connected_component(graph.adjacency).size == 150
+
+    def test_deterministic_given_seed(self):
+        a = generate_csbm(CSBMConfig(num_nodes=100, seed=7))
+        b = generate_csbm(CSBMConfig(num_nodes=100, seed=7))
+        assert (a.adjacency != b.adjacency).nnz == 0
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_csbm(CSBMConfig(num_nodes=100, seed=1))
+        b = generate_csbm(CSBMConfig(num_nodes=100, seed=2))
+        assert not np.array_equal(a.features, b.features)
+
+    def test_all_classes_present(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=120, num_classes=6, seed=0))
+        assert np.unique(graph.labels).size == 6
+
+    def test_feature_signal_separates_classes(self):
+        strong = generate_csbm(CSBMConfig(num_nodes=200, feature_signal=3.0,
+                                          seed=0))
+        weak = generate_csbm(CSBMConfig(num_nodes=200, feature_signal=0.0,
+                                        seed=0))
+
+        def class_separation(graph):
+            means = np.stack([graph.features[graph.labels == c].mean(axis=0)
+                              for c in range(graph.num_classes)])
+            return np.linalg.norm(means - means.mean(axis=0))
+
+        assert class_separation(strong) > class_separation(weak) + 1.0
+
+    def test_average_degree_close_to_target(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=500, avg_degree=10, seed=0))
+        mean_degree = graph.degrees.mean()
+        assert 7.0 < mean_degree < 14.0
+
+
+class TestRegistry:
+    def test_twelve_datasets_registered(self):
+        assert len(DATASET_REGISTRY) == 12
+
+    def test_list_datasets_by_task(self):
+        inductive = list_datasets(task="inductive")
+        assert set(inductive) == {"reddit", "flickr"}
+        assert len(list_datasets(task="transductive")) == 10
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    @pytest.mark.parametrize("name", list_datasets())
+    def test_every_dataset_loads(self, name):
+        graph = load_dataset(name, seed=0, num_nodes=150)
+        spec = DATASET_REGISTRY[name]
+        assert graph.num_nodes == 150
+        assert graph.num_classes == spec.num_classes
+        assert graph.num_features == spec.num_features
+        assert graph.train_mask.sum() > 0
+        assert graph.test_mask.sum() > 0
+
+    def test_homophilous_vs_heterophilous_targets(self):
+        cora = load_dataset("cora", num_nodes=400)
+        squirrel = load_dataset("squirrel", num_nodes=400)
+        h_cora = edge_homophily(cora.adjacency, cora.labels)
+        h_squirrel = edge_homophily(squirrel.adjacency, squirrel.labels)
+        assert h_cora > 0.6
+        assert h_squirrel < 0.35
+
+    def test_dataset_statistics_contains_paper_counts(self):
+        stats = dataset_statistics("cora")
+        assert stats["paper_nodes"] == 2708
+        assert stats["classes"] == 7
+        assert 0.0 <= stats["edge_homophily"] <= 1.0
+
+    def test_num_classes_metadata_set(self):
+        graph = load_dataset("citeseer", num_nodes=150)
+        assert graph.metadata["num_classes"] == 6
+
+
+class TestSplits:
+    def test_ratios_respected(self):
+        graph = load_dataset("cora", num_nodes=300)
+        make_split_masks(graph, 0.2, 0.4, 0.4, seed=0)
+        n = graph.num_nodes
+        assert abs(graph.train_mask.sum() / n - 0.2) < 0.08
+        assert abs(graph.val_mask.sum() / n - 0.4) < 0.08
+
+    def test_masks_disjoint(self):
+        graph = load_dataset("pubmed", num_nodes=300)
+        overlap = (graph.train_mask & graph.val_mask) | \
+                  (graph.train_mask & graph.test_mask) | \
+                  (graph.val_mask & graph.test_mask)
+        assert overlap.sum() == 0
+
+    def test_stratified_split_covers_every_class(self):
+        graph = load_dataset("computer", num_nodes=300)
+        train_labels = graph.labels[graph.train_mask]
+        assert np.unique(train_labels).size == graph.num_classes
+
+    def test_invalid_ratios_rejected(self):
+        graph = load_dataset("cora", num_nodes=150)
+        with pytest.raises(ValueError):
+            make_split_masks(graph, 0.8, 0.8)
+
+    def test_inductive_partition(self):
+        graph = load_dataset("reddit", num_nodes=200)
+        observed, full = inductive_partition(graph)
+        assert observed.num_nodes == int((graph.train_mask | graph.val_mask).sum())
+        assert full.num_nodes == graph.num_nodes
+        assert observed.test_mask.sum() == 0

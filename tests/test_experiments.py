@@ -1,0 +1,117 @@
+"""Tests for the experiment harness: runner, tables, grid search."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    compare_methods,
+    format_series,
+    format_table,
+    grid_search,
+    prepare_clients,
+    run_method,
+)
+from repro.experiments.runner import available_methods
+from repro.experiments.tables import best_method
+
+
+FAST = ExperimentSettings(num_clients=3, rounds=3, local_epochs=2,
+                          personalized_epochs=8, hidden=16, seed=0)
+
+
+class TestSettings:
+    def test_federated_config_reflects_settings(self):
+        config = FAST.federated_config()
+        assert config.rounds == 3
+        assert config.local_epochs == 2
+
+    def test_adafgl_config_overrides(self):
+        config = FAST.adafgl_config(alpha=0.3, use_hcs=False)
+        assert config.alpha == 0.3
+        assert not config.use_hcs
+        assert config.rounds == FAST.rounds
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUNDS", "7")
+        monkeypatch.setenv("REPRO_CLIENTS", "4")
+        settings = ExperimentSettings()
+        assert settings.rounds == 7
+        assert settings.num_clients == 4
+
+    def test_env_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUNDS", "not-a-number")
+        assert ExperimentSettings().rounds == 20
+
+
+class TestPrepareClients:
+    def test_community_split(self, cora_small):
+        clients = prepare_clients("cora", "community", FAST, graph=cora_small)
+        assert sum(c.num_nodes for c in clients) == cora_small.num_nodes
+
+    def test_structure_split(self, cora_small):
+        clients = prepare_clients("cora", "structure", FAST, graph=cora_small)
+        assert all(c.metadata["split"] == "structure-noniid" for c in clients)
+
+    def test_unknown_split(self, cora_small):
+        with pytest.raises(ValueError):
+            prepare_clients("cora", "quantum", FAST, graph=cora_small)
+
+
+class TestRunMethod:
+    def test_baseline_summary_keys(self, community_clients):
+        result = run_method("fedgcn", community_clients, FAST)
+        assert set(result) >= {"method", "accuracy", "history",
+                               "communication", "trainer"}
+        assert 0.0 <= result["accuracy"] <= 1.0
+
+    def test_adafgl_runs(self, community_clients):
+        result = run_method("adafgl", community_clients, FAST)
+        assert result["accuracy"] > 0.0
+        assert result["communication"]["rounds"] == FAST.rounds
+
+    def test_adafgl_overrides_forwarded(self, community_clients):
+        result = run_method("adafgl", community_clients, FAST,
+                            adafgl_overrides={"use_hcs": False})
+        assert result["trainer"].config.use_hcs is False
+
+    def test_compare_methods(self, community_clients):
+        results = compare_methods(["fedgcn", "fedmlp"], community_clients, FAST)
+        assert set(results) == {"fedgcn", "fedmlp"}
+        assert isinstance(best_method(results), str)
+
+    def test_available_methods_include_adafgl(self):
+        assert "adafgl" in available_methods()
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "acc"], [["fedgcn", 0.81], ["adafgl", 0.9]],
+                            title="Table X")
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "fedgcn" in text and "0.900" in text
+
+    def test_format_table_handles_non_floats(self):
+        text = format_table(["a"], [[1], ["x"]])
+        assert "1" in text and "x" in text
+
+    def test_format_series(self):
+        text = format_series("accuracy", [1, 2], [0.5, 0.75])
+        assert "series: accuracy" in text
+        assert "0.750" in text
+
+
+class TestGridSearch:
+    def test_finds_maximum(self):
+        best, score, results = grid_search(
+            lambda x, y: -(x - 2) ** 2 - (y - 1) ** 2,
+            {"x": [0, 1, 2, 3], "y": [0, 1, 2]})
+        assert best == {"x": 2, "y": 1}
+        assert score == 0.0
+        assert len(results) == 12
+
+    def test_single_point(self):
+        best, score, results = grid_search(lambda a: a, {"a": [5]})
+        assert best == {"a": 5}
+        assert score == 5

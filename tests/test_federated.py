@@ -1,0 +1,213 @@
+"""Tests for the federated framework: client, server, trainer, communication."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    Client,
+    CommunicationTracker,
+    FederatedConfig,
+    FederatedTrainer,
+    Server,
+    fedavg_aggregate,
+)
+from repro.fgl.fedgnn import make_model_factory
+from repro.models import GCN
+
+
+def _make_client(graph, client_id=0, seed=0):
+    model = GCN(graph.num_features, 16, graph.num_classes, seed=seed)
+    return Client(client_id=client_id, graph=graph, model=model, lr=0.02,
+                  local_epochs=2)
+
+
+class TestFedAvgAggregate:
+    def test_uniform_average(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([2.0])}]
+        out = fedavg_aggregate(states)
+        assert out["w"][0] == pytest.approx(1.0)
+
+    def test_weighted_average(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([2.0])}]
+        out = fedavg_aggregate(states, weights=[3.0, 1.0])
+        assert out["w"][0] == pytest.approx(0.5)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([{"w": np.zeros(1)}], weights=[1.0, 1.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([{"w": np.zeros(1)}], weights=[0.0])
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(KeyError):
+            fedavg_aggregate([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+    def test_preserves_shapes(self):
+        states = [{"w": np.ones((3, 4))}, {"w": np.zeros((3, 4))}]
+        out = fedavg_aggregate(states)
+        assert out["w"].shape == (3, 4)
+        assert np.allclose(out["w"], 0.5)
+
+
+class TestServer:
+    def test_broadcast_before_aggregate_raises(self):
+        with pytest.raises(RuntimeError):
+            Server().broadcast()
+
+    def test_round_counter(self):
+        server = Server()
+        server.aggregate([{"w": np.zeros(2)}])
+        server.aggregate([{"w": np.ones(2)}])
+        assert server.round == 2
+
+    def test_broadcast_returns_copy(self):
+        server = Server()
+        server.aggregate([{"w": np.zeros(2)}])
+        state = server.broadcast()
+        state["w"][:] = 5.0
+        assert np.allclose(server.global_state["w"], 0.0)
+
+
+class TestClient:
+    def test_local_train_reduces_loss(self, homophilous_graph):
+        client = _make_client(homophilous_graph)
+        first = client.local_train(epochs=1)
+        for _ in range(10):
+            last = client.local_train(epochs=1)
+        assert last < first
+
+    def test_predict_shape_and_simplex(self, homophilous_graph):
+        client = _make_client(homophilous_graph)
+        probs = client.predict()
+        assert probs.shape == (homophilous_graph.num_nodes,
+                               homophilous_graph.num_classes)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_evaluate_range(self, homophilous_graph):
+        client = _make_client(homophilous_graph)
+        acc = client.evaluate("test")
+        assert 0.0 <= acc <= 1.0
+
+    def test_get_set_weights_roundtrip(self, homophilous_graph):
+        a = _make_client(homophilous_graph, seed=0)
+        b = _make_client(homophilous_graph, seed=1)
+        b.set_weights(a.get_weights())
+        assert np.allclose(a.predict(), b.predict())
+
+    def test_num_samples_counts_train_nodes(self, homophilous_graph):
+        client = _make_client(homophilous_graph)
+        assert client.num_samples == int(homophilous_graph.train_mask.sum())
+
+    def test_extra_loss_hook_called(self, homophilous_graph):
+        calls = []
+
+        def extra(client, logits):
+            calls.append(1)
+            return None
+
+        client = _make_client(homophilous_graph)
+        client.extra_loss = extra
+        client.local_train(epochs=2)
+        assert len(calls) == 2
+
+
+class TestTrainer:
+    def _trainer(self, clients, rounds=3, participation=1.0):
+        config = FederatedConfig(rounds=rounds, local_epochs=2, lr=0.02,
+                                 participation=participation, seed=0)
+        return FederatedTrainer(clients, make_model_factory("gcn", hidden=16),
+                                config)
+
+    def test_requires_at_least_one_client(self):
+        with pytest.raises(ValueError):
+            FederatedTrainer([], make_model_factory("gcn"))
+
+    def test_initial_weights_synchronised(self, community_clients):
+        trainer = self._trainer(community_clients)
+        first = trainer.clients[0].get_weights()
+        for client in trainer.clients[1:]:
+            other = client.get_weights()
+            assert all(np.allclose(first[k], other[k]) for k in first)
+
+    def test_run_improves_over_initial(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=8)
+        initial = trainer.evaluate("test")
+        trainer.run()
+        assert trainer.evaluate("test") > initial
+
+    def test_history_recorded_every_round(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=4)
+        history = trainer.run()
+        assert len(history.rounds) == 4
+        assert len(history.client_accuracy[0]) == len(trainer.clients)
+
+    def test_weights_identical_across_clients_after_round(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=2)
+        trainer.run()
+        first = trainer.clients[0].get_weights()
+        for client in trainer.clients[1:]:
+            other = client.get_weights()
+            assert all(np.allclose(first[k], other[k]) for k in first)
+
+    def test_partial_participation_selects_subset(self, community_clients):
+        trainer = self._trainer(community_clients, participation=0.34)
+        participants = trainer._select_participants()
+        assert len(participants) == 1
+
+    def test_full_participation_selects_all(self, community_clients):
+        trainer = self._trainer(community_clients, participation=1.0)
+        assert len(trainer._select_participants()) == len(trainer.clients)
+
+    def test_client_reports(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=2)
+        trainer.run()
+        reports = trainer.client_reports()
+        assert len(reports) == len(trainer.clients)
+        assert all(0.0 <= r.accuracy <= 1.0 for r in reports)
+        assert all(r.homophily is not None for r in reports)
+
+    def test_communication_tracked(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=2)
+        trainer.run()
+        summary = trainer.tracker.summary()
+        assert summary["rounds"] == 2
+        assert summary["uploaded"] > 0
+        assert summary["downloaded"] > 0
+
+    def test_evaluate_weighted_by_test_nodes(self, community_clients):
+        trainer = self._trainer(community_clients, rounds=1)
+        trainer.run()
+        accuracy = trainer.evaluate("test")
+        manual_num = sum(c.evaluate("test") * c.graph.test_mask.sum()
+                         for c in trainer.clients)
+        manual_den = sum(c.graph.test_mask.sum() for c in trainer.clients)
+        assert accuracy == pytest.approx(manual_num / manual_den)
+
+
+class TestCommunicationTracker:
+    def test_totals(self):
+        tracker = CommunicationTracker()
+        tracker.record_upload("model", 100)
+        tracker.record_download("model", 50)
+        tracker.next_round()
+        assert tracker.total_uploaded == 100
+        assert tracker.total_downloaded == 50
+        assert tracker.total == 150
+        assert tracker.per_round() == 150
+
+    def test_per_round_without_rounds(self):
+        tracker = CommunicationTracker()
+        tracker.record_upload("x", 10)
+        assert tracker.per_round() == 10
+
+    def test_summary_lists_kinds(self):
+        tracker = CommunicationTracker()
+        tracker.record_upload("embeddings", 5)
+        tracker.record_download("masks", 5)
+        assert set(tracker.summary()["kinds"]) == {"embeddings", "masks"}

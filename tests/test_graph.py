@@ -1,0 +1,244 @@
+"""Tests for the Graph container, normalisation, homophily and utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    Graph,
+    add_self_loops,
+    adjacency_from_edges,
+    class_homophily,
+    edge_homophily,
+    edges_from_adjacency,
+    k_hop_adjacency,
+    largest_connected_component,
+    node_homophily,
+    normalize_adjacency,
+    row_normalize,
+    subgraph,
+    to_symmetric,
+)
+
+
+def _path_graph(n=5):
+    edges = np.array([[i, i + 1] for i in range(n - 1)])
+    return adjacency_from_edges(edges, n)
+
+
+def _toy_graph():
+    adjacency = _path_graph(6)
+    features = np.arange(12.0).reshape(6, 2)
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    return Graph(adjacency=adjacency, features=features, labels=labels,
+                 train_mask=np.array([1, 0, 0, 1, 0, 0], dtype=bool))
+
+
+class TestGraphContainer:
+    def test_basic_properties(self):
+        g = _toy_graph()
+        assert g.num_nodes == 6
+        assert g.num_edges == 5
+        assert g.num_features == 2
+        assert g.num_classes == 2
+
+    def test_masks_default_to_false(self):
+        g = Graph(_path_graph(4), np.zeros((4, 2)), np.zeros(4, dtype=int))
+        assert g.val_mask.sum() == 0
+        assert g.test_mask.sum() == 0
+
+    def test_rejects_nonsquare_adjacency(self):
+        with pytest.raises(ValueError):
+            Graph(sp.csr_matrix(np.ones((3, 4))), np.zeros((3, 2)),
+                  np.zeros(3, dtype=int))
+
+    def test_rejects_feature_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(_path_graph(4), np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(_path_graph(4), np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+    def test_rejects_bad_mask_length(self):
+        with pytest.raises(ValueError):
+            Graph(_path_graph(4), np.zeros((4, 2)), np.zeros(4, dtype=int),
+                  train_mask=np.zeros(3, dtype=bool))
+
+    def test_degrees(self):
+        g = _toy_graph()
+        assert np.allclose(g.degrees, [1, 2, 2, 2, 2, 1])
+
+    def test_copy_is_independent(self):
+        g = _toy_graph()
+        c = g.copy()
+        c.features[0, 0] = 99.0
+        assert g.features[0, 0] != 99.0
+
+    def test_node_subgraph_preserves_masks_and_metadata(self):
+        g = _toy_graph()
+        sub = g.node_subgraph(np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.train_mask[0]
+        assert "global_ids" in sub.metadata
+        assert sub.num_classes == g.num_classes
+
+    def test_num_classes_metadata_override(self):
+        g = _toy_graph()
+        g.metadata["num_classes"] = 7
+        assert g.num_classes == 7
+
+    def test_with_adjacency_wrong_shape_rejected(self):
+        g = _toy_graph()
+        with pytest.raises(ValueError):
+            g.with_adjacency(sp.eye(3, format="csr"))
+
+    def test_label_onehot(self):
+        g = _toy_graph()
+        onehot = g.label_onehot()
+        assert onehot.shape == (6, 2)
+        assert np.allclose(onehot.sum(axis=1), 1.0)
+
+    def test_label_distribution(self):
+        g = _toy_graph()
+        assert np.array_equal(g.label_distribution(), [3, 3])
+
+    def test_split_index_helpers(self):
+        g = _toy_graph()
+        assert np.array_equal(g.train_indices(), [0, 3])
+        assert g.val_indices().size == 0
+
+
+class TestNormalization:
+    def test_to_symmetric(self):
+        directed = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 0], [1, 0, 0]],
+                                          dtype=float))
+        sym = to_symmetric(directed)
+        assert (sym != sym.T).nnz == 0
+        assert sym.diagonal().sum() == 0
+
+    def test_add_self_loops(self):
+        adj = _path_graph(3)
+        with_loops = add_self_loops(adj)
+        assert np.allclose(with_loops.diagonal(), 1.0)
+
+    def test_symmetric_normalization_row_sums(self):
+        adj = _path_graph(5)
+        norm = normalize_adjacency(adj, r=0.5)
+        # Symmetric normalisation of a graph with self-loops keeps row sums
+        # close to 1 for regular parts of the graph.
+        assert norm.shape == (5, 5)
+        assert norm.max() <= 1.0 + 1e-9
+
+    def test_row_normalization_r1(self):
+        adj = _path_graph(5)
+        norm = normalize_adjacency(adj, r=1.0)
+        # r=1 gives D^0 Â D^{-1}: columns sum to one.
+        assert np.allclose(np.asarray(norm.sum(axis=0)).ravel(), 1.0)
+
+    def test_reverse_transition_r0(self):
+        adj = _path_graph(5)
+        norm = normalize_adjacency(adj, r=0.0)
+        assert np.allclose(np.asarray(norm.sum(axis=1)).ravel(), 1.0)
+
+    def test_invalid_r_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(_path_graph(3), r=1.5)
+
+    def test_isolated_node_handled(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = normalize_adjacency(adj, r=0.5, self_loops=False)
+        assert np.all(np.isfinite(norm.toarray()))
+
+    def test_row_normalize_dense(self):
+        matrix = np.array([[2.0, 2.0], [0.0, 0.0]])
+        out = row_normalize(matrix)
+        assert np.allclose(out[0], [0.5, 0.5])
+        assert np.allclose(out[1], [0.0, 0.0])
+
+
+class TestHomophily:
+    def test_perfectly_homophilous(self):
+        edges = np.array([[0, 1], [2, 3]])
+        adj = adjacency_from_edges(edges, 4)
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adj, labels) == pytest.approx(1.0)
+        assert node_homophily(adj, labels) == pytest.approx(1.0)
+
+    def test_perfectly_heterophilous(self):
+        edges = np.array([[0, 1], [2, 3]])
+        adj = adjacency_from_edges(edges, 4)
+        labels = np.array([0, 1, 0, 1])
+        assert edge_homophily(adj, labels) == pytest.approx(0.0)
+        assert node_homophily(adj, labels) == pytest.approx(0.0)
+
+    def test_mixed_star(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3]])
+        adj = adjacency_from_edges(edges, 4)
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adj, labels) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_graph_returns_one(self):
+        adj = sp.csr_matrix((3, 3))
+        labels = np.array([0, 1, 2])
+        assert edge_homophily(adj, labels) == 1.0
+        assert node_homophily(adj, labels) == 1.0
+
+    def test_class_homophily_bounds(self, homophilous_graph, heterophilous_graph):
+        high = class_homophily(homophilous_graph.adjacency,
+                               homophilous_graph.labels)
+        low = class_homophily(heterophilous_graph.adjacency,
+                              heterophilous_graph.labels)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_homophilous_dataset_scores_higher(self, homophilous_graph,
+                                               heterophilous_graph):
+        assert (edge_homophily(homophilous_graph.adjacency,
+                               homophilous_graph.labels)
+                > edge_homophily(heterophilous_graph.adjacency,
+                                 heterophilous_graph.labels) + 0.3)
+
+
+class TestGraphUtils:
+    def test_edges_roundtrip(self):
+        edges = np.array([[0, 1], [1, 2], [0, 3]])
+        adj = adjacency_from_edges(edges, 4)
+        back = edges_from_adjacency(adj)
+        assert set(map(tuple, back)) == set(map(tuple, edges))
+
+    def test_adjacency_from_empty_edges(self):
+        adj = adjacency_from_edges(np.zeros((0, 2)), 5)
+        assert adj.nnz == 0
+        assert adj.shape == (5, 5)
+
+    def test_adjacency_removes_self_loops_and_duplicates(self):
+        edges = np.array([[0, 0], [0, 1], [1, 0]])
+        adj = adjacency_from_edges(edges, 2)
+        assert adj.diagonal().sum() == 0
+        assert adj.nnz == 2  # one undirected edge stored twice
+
+    def test_k_hop_adjacency_path(self):
+        adj = _path_graph(4)
+        two_hop = k_hop_adjacency(adj, 2)
+        assert two_hop[0, 2] > 0
+        assert two_hop[0, 0] == 0
+
+    def test_k_hop_invalid(self):
+        with pytest.raises(ValueError):
+            k_hop_adjacency(_path_graph(3), 0)
+
+    def test_largest_connected_component(self):
+        edges = np.array([[0, 1], [1, 2], [3, 4]])
+        adj = adjacency_from_edges(edges, 5)
+        component = largest_connected_component(adj)
+        assert set(component) == {0, 1, 2}
+
+    def test_single_component_returns_all(self):
+        adj = _path_graph(4)
+        assert largest_connected_component(adj).size == 4
+
+    def test_subgraph_extraction(self):
+        adj = _path_graph(5)
+        sub = subgraph(adj, np.array([0, 1, 2]))
+        assert sub.shape == (3, 3)
+        assert sub[0, 1] > 0

@@ -1,0 +1,162 @@
+"""Tests for Module/Parameter registration, layers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import (
+    CrossEntropyLoss,
+    Dropout,
+    Identity,
+    KnowledgePreservingLoss,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.init import glorot_uniform, he_uniform, zeros_init
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones((2, 2)))
+                self.child = Linear(2, 3)
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "w" in names
+        assert any(name.startswith("child.") for name in names)
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self):
+        a = MLP(4, [8], 3, seed=0)
+        b = MLP(4, [8], 3, seed=1)
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_returns_copies(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(layer.weight.data, 99.0)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(2, 2)
+        bad = layer.state_dict()
+        bad["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(4, [8], 2)
+        mlp.eval()
+        assert not mlp.training
+        assert not mlp.dropout.training
+        mlp.train()
+        assert mlp.dropout.training
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP(3, [4], 2)
+        out = mlp(Tensor(np.ones((5, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(4, 7)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_linear_gradients_flow(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_sequential_order(self):
+        seq = Sequential(Linear(2, 4), Identity(), Linear(4, 1))
+        out = seq(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+        assert len(seq) == 3
+
+    def test_mlp_no_hidden_is_linear(self):
+        mlp = MLP(4, [], 2)
+        assert len(mlp._layer_names) == 1
+
+    def test_mlp_output_shape(self):
+        mlp = MLP(6, [8, 8], 3)
+        out = mlp(Tensor(np.ones((10, 6))))
+        assert out.shape == (10, 3)
+
+    def test_dropout_eval_mode_identity(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert layer(x) is x
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_mlp_deterministic_given_seed(self):
+        a = MLP(4, [8], 2, seed=3)
+        b = MLP(4, [8], 2, seed=3)
+        x = Tensor(np.ones((2, 4)))
+        a.eval(), b.eval()
+        assert np.allclose(a(x).data, b(x).data)
+
+
+class TestInit:
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(100, 100, rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_bounds(self):
+        rng = np.random.default_rng(0)
+        w = he_uniform(50, 10, rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 50))
+
+    def test_zeros_init(self):
+        assert np.all(zeros_init(3, 4) == 0)
+        assert zeros_init(5).shape == (5,)
+
+
+class TestLossWrappers:
+    def test_cross_entropy_loss_callable(self):
+        loss_fn = CrossEntropyLoss()
+        logits = Tensor(np.zeros((3, 2)))
+        loss = loss_fn(logits, np.array([0, 1, 0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_knowledge_preserving_loss_weight(self):
+        loss_fn = KnowledgePreservingLoss(weight=0.5)
+        a = Tensor(np.array([[3.0, 4.0]]))
+        value = loss_fn(a, np.zeros((1, 2)))
+        assert value.item() == pytest.approx(2.5, abs=1e-5)

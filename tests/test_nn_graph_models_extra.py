@@ -1,0 +1,92 @@
+"""Additional edge-case tests: empty-ish graphs, single-class clients,
+isolated nodes and tiny client subgraphs flowing through the full stack."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, functional as F
+from repro.core import AdaFGLConfig
+from repro.core.adafgl import PersonalizedClient
+from repro.core.hcs import homophily_confidence_score
+from repro.federated import Client
+from repro.graph import Graph, adjacency_from_edges, normalize_adjacency
+from repro.models import GCN
+
+
+def _make_graph(num_nodes, num_classes, edges, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(num_nodes) % num_classes
+    graph = Graph(
+        adjacency=adjacency_from_edges(np.asarray(edges).reshape(-1, 2),
+                                       num_nodes),
+        features=rng.normal(size=(num_nodes, 6)),
+        labels=labels,
+        train_mask=np.ones(num_nodes, dtype=bool),
+        metadata={"num_classes": num_classes},
+    )
+    graph.test_mask = np.ones(num_nodes, dtype=bool)
+    return graph
+
+
+class TestEdgeCases:
+    def test_gcn_on_graph_with_isolated_nodes(self):
+        graph = _make_graph(6, 2, [[0, 1], [2, 3]])
+        model = GCN(graph.num_features, 8, graph.num_classes)
+        out = model(Tensor(graph.features), graph.adjacency)
+        assert np.all(np.isfinite(out.data))
+
+    def test_normalize_edgeless_graph(self):
+        adjacency = sp.csr_matrix((4, 4))
+        norm = normalize_adjacency(adjacency, r=0.5)
+        assert np.all(np.isfinite(norm.toarray()))
+
+    def test_client_with_single_class_subgraph(self):
+        graph = _make_graph(8, 1, [[i, i + 1] for i in range(7)])
+        graph.metadata["num_classes"] = 3
+        client = Client(0, graph, GCN(graph.num_features, 8, 3),
+                        local_epochs=1)
+        loss = client.local_train()
+        assert np.isfinite(loss)
+        assert 0.0 <= client.evaluate("test") <= 1.0
+
+    def test_hcs_on_tiny_training_set(self):
+        graph = _make_graph(10, 2, [[i, i + 1] for i in range(9)])
+        graph.train_mask = np.zeros(10, dtype=bool)
+        graph.train_mask[0] = True
+        score = homophily_confidence_score(graph, seed=0)
+        assert score == 0.5  # falls back to the neutral score
+
+    def test_personalized_client_on_tiny_subgraph(self):
+        graph = _make_graph(12, 3, [[i, (i + 1) % 12] for i in range(12)])
+        probs = np.full((12, 3), 1.0 / 3.0)
+        config = AdaFGLConfig(rounds=1, local_epochs=1, hidden=8,
+                              personalized_epochs=2, k_prop=2,
+                              message_layers=1, seed=0)
+        client = PersonalizedClient(0, graph, probs, config)
+        loss = client.train_epoch()
+        assert np.isfinite(loss)
+        predictions = client.predict()
+        assert predictions.shape == (12, 3)
+        assert np.all(np.isfinite(predictions))
+
+    def test_cross_entropy_single_node_mask(self):
+        logits = Tensor(np.zeros((5, 3)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0, 1]),
+                               mask=np.array([2]))
+        loss.backward()
+        assert np.isfinite(loss.item())
+        # Only the masked row receives gradient signal.
+        assert np.allclose(logits.grad[[0, 1, 3, 4]], 0.0)
+
+    def test_softmax_extreme_logits_stay_finite(self):
+        logits = Tensor(np.array([[1e4, -1e4], [-1e4, 1e4]]))
+        out = F.softmax(logits)
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_label_onehot_respects_global_class_count(self):
+        graph = _make_graph(4, 2, [[0, 1]])
+        graph.metadata["num_classes"] = 5
+        onehot = graph.label_onehot()
+        assert onehot.shape == (4, 5)

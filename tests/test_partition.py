@@ -1,0 +1,132 @@
+"""Tests for Louvain, the Metis-style partitioner and client assignment."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSBMConfig, generate_csbm
+from repro.graph import adjacency_from_edges
+from repro.partition import (
+    assign_communities_to_clients,
+    louvain_communities,
+    metis_partition,
+)
+from repro.partition.louvain import modularity
+from repro.partition.metis import edge_cut
+
+
+def two_cliques(size=10):
+    """Two dense cliques joined by a single bridge edge."""
+    edges = []
+    for offset in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append((offset + i, offset + j))
+    edges.append((0, size))
+    return adjacency_from_edges(np.array(edges), 2 * size)
+
+
+class TestLouvain:
+    def test_separates_two_cliques(self):
+        adj = two_cliques()
+        communities = louvain_communities(adj, seed=0)
+        first = set(communities[:10])
+        second = set(communities[10:])
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_positive_modularity_on_clustered_graph(self, homophilous_graph):
+        communities = louvain_communities(homophilous_graph.adjacency, seed=0)
+        assert modularity(homophilous_graph.adjacency, communities) > 0.2
+
+    def test_labels_contiguous(self, homophilous_graph):
+        communities = louvain_communities(homophilous_graph.adjacency, seed=0)
+        unique = np.unique(communities)
+        assert np.array_equal(unique, np.arange(unique.size))
+
+    def test_more_than_one_community_on_csbm(self):
+        graph = generate_csbm(CSBMConfig(num_nodes=200, blocks_per_class=3,
+                                         seed=0))
+        communities = louvain_communities(graph.adjacency, seed=0)
+        assert np.unique(communities).size >= 3
+
+    def test_deterministic_given_seed(self, homophilous_graph):
+        a = louvain_communities(homophilous_graph.adjacency, seed=5)
+        b = louvain_communities(homophilous_graph.adjacency, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_beats_random_partition_modularity(self, homophilous_graph):
+        communities = louvain_communities(homophilous_graph.adjacency, seed=0)
+        rng = np.random.default_rng(0)
+        random_partition = rng.integers(0, np.unique(communities).size,
+                                        size=communities.size)
+        assert (modularity(homophilous_graph.adjacency, communities)
+                > modularity(homophilous_graph.adjacency, random_partition))
+
+
+class TestMetis:
+    def test_partition_count_and_coverage(self, homophilous_graph):
+        parts = metis_partition(homophilous_graph.adjacency, 4, seed=0)
+        assert parts.shape[0] == homophilous_graph.num_nodes
+        assert np.unique(parts).size == 4
+
+    def test_balance(self, homophilous_graph):
+        parts = metis_partition(homophilous_graph.adjacency, 5, seed=0)
+        sizes = np.bincount(parts)
+        assert sizes.max() <= 1.6 * sizes.min() + 3
+
+    def test_single_part(self, homophilous_graph):
+        parts = metis_partition(homophilous_graph.adjacency, 1)
+        assert np.all(parts == 0)
+
+    def test_too_many_parts_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            metis_partition(tiny_graph.adjacency, tiny_graph.num_nodes + 1)
+
+    def test_invalid_parts_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            metis_partition(tiny_graph.adjacency, 0)
+
+    def test_cut_better_than_random(self, homophilous_graph):
+        parts = metis_partition(homophilous_graph.adjacency, 4, seed=0)
+        rng = np.random.default_rng(1)
+        random_parts = rng.integers(0, 4, size=homophilous_graph.num_nodes)
+        assert (edge_cut(homophilous_graph.adjacency, parts)
+                < edge_cut(homophilous_graph.adjacency, random_parts))
+
+    def test_separates_cliques(self):
+        adj = two_cliques()
+        parts = metis_partition(adj, 2, seed=0)
+        assert edge_cut(adj, parts) <= 3
+
+
+class TestAssignment:
+    def test_all_nodes_assigned_exactly_once(self):
+        community = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        clients = assign_communities_to_clients(community, 2, seed=0)
+        combined = np.sort(np.concatenate(clients))
+        assert np.array_equal(combined, np.arange(8))
+
+    def test_balanced_loads(self):
+        community = np.repeat(np.arange(10), 20)
+        clients = assign_communities_to_clients(community, 5, seed=0)
+        sizes = [c.size for c in clients]
+        assert max(sizes) - min(sizes) <= 20
+
+    def test_communities_stay_whole(self):
+        community = np.repeat(np.arange(4), 5)
+        clients = assign_communities_to_clients(community, 2, seed=0)
+        for nodes in clients:
+            for comm in np.unique(community[nodes]):
+                members = np.nonzero(community == comm)[0]
+                assert set(members).issubset(set(nodes))
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            assign_communities_to_clients(np.zeros(4, dtype=int), 0)
+
+    def test_more_clients_than_communities(self):
+        community = np.array([0, 0, 0, 1, 1, 1])
+        clients = assign_communities_to_clients(community, 4, seed=0)
+        non_empty = [c for c in clients if c.size > 0]
+        assert len(non_empty) == 2

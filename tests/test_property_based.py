@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, functional as F
+from repro.core.hcs import label_propagation
+from repro.core.knowledge import optimized_propagation_matrix
+from repro.federated import fedavg_aggregate
+from repro.graph import (
+    adjacency_from_edges,
+    edge_homophily,
+    node_homophily,
+    normalize_adjacency,
+)
+from repro.graph.normalize import row_normalize
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_graph(draw, max_nodes=30):
+    """A random undirected graph with labels: (adjacency, labels)."""
+    n = draw(st.integers(min_value=4, max_value=max_nodes))
+    num_classes = draw(st.integers(min_value=2, max_value=4))
+    edge_count = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    if edge_count:
+        edges = rng.integers(0, n, size=(edge_count, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+    else:
+        edges = np.zeros((0, 2), dtype=int)
+    adjacency = adjacency_from_edges(edges, n)
+    labels = rng.integers(0, num_classes, size=n)
+    return adjacency, labels, num_classes
+
+
+matrices = st.integers(min_value=0, max_value=2 ** 16).map(
+    lambda seed: np.random.default_rng(seed).normal(
+        size=(int(np.random.default_rng(seed).integers(2, 8)),
+              int(np.random.default_rng(seed + 1).integers(2, 6)))))
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+@given(random_graph())
+@settings(max_examples=40, deadline=None)
+def test_homophily_metrics_are_probabilities(data):
+    adjacency, labels, _ = data
+    assert 0.0 <= edge_homophily(adjacency, labels) <= 1.0
+    assert 0.0 <= node_homophily(adjacency, labels) <= 1.0
+
+
+@given(random_graph())
+@settings(max_examples=40, deadline=None)
+def test_homophily_invariant_to_label_permutation(data):
+    adjacency, labels, num_classes = data
+    permutation = np.random.default_rng(0).permutation(num_classes)
+    assert edge_homophily(adjacency, labels) == edge_homophily(
+        adjacency, permutation[labels])
+
+
+@given(random_graph())
+@settings(max_examples=40, deadline=None)
+def test_constant_labels_are_fully_homophilous(data):
+    adjacency, labels, _ = data
+    constant = np.zeros_like(labels)
+    assert edge_homophily(adjacency, constant) == 1.0
+    assert node_homophily(adjacency, constant) == 1.0
+
+
+@given(random_graph(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_normalized_adjacency_is_nonnegative_and_bounded(data, r):
+    adjacency, _, _ = data
+    norm = normalize_adjacency(adjacency, r=r)
+    dense = norm.toarray()
+    assert np.all(dense >= 0.0)
+    assert np.all(dense <= 1.0 + 1e-9)
+    assert np.all(np.isfinite(dense))
+
+
+@given(random_graph())
+@settings(max_examples=30, deadline=None)
+def test_label_propagation_stays_on_simplex(data):
+    adjacency, labels, num_classes = data
+    labeled = np.zeros(labels.shape[0], dtype=bool)
+    labeled[: max(1, labels.shape[0] // 3)] = True
+    beliefs = label_propagation(adjacency, labels, labeled, num_classes, k=3)
+    assert np.all(beliefs >= -1e-12)
+    assert np.all(beliefs <= 1.0 + 1e-9)
+
+
+@given(random_graph(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_optimized_propagation_rows_sum_to_one(data, alpha):
+    adjacency, labels, num_classes = data
+    rng = np.random.default_rng(1)
+    probs = rng.dirichlet(np.ones(num_classes), size=labels.shape[0])
+    matrix = optimized_propagation_matrix(adjacency, probs, alpha=alpha)
+    assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8)
+    assert np.all(matrix >= -1e-12)
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_row_normalize_rows_sum_to_one_or_zero(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = np.abs(rng.normal(size=(n, n)))
+    matrix[0] = 0.0
+    out = row_normalize(matrix)
+    sums = out.sum(axis=1)
+    assert np.all((np.isclose(sums, 1.0)) | (np.isclose(sums, 0.0)))
+
+
+# ----------------------------------------------------------------------
+# Autograd invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_always_sum_to_one(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=10.0, size=(5, 7))
+    out = F.softmax(Tensor(x), axis=-1)
+    assert np.allclose(out.data.sum(axis=1), 1.0)
+    assert np.all(out.data >= 0.0)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_addition_gradient_is_ones(seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    (a + b).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, 1.0)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=30, deadline=None)
+def test_spmm_linear_in_features(seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((6, 6)) < 0.4).astype(float)
+    adjacency = sp.csr_matrix(dense)
+    x = rng.normal(size=(6, 3))
+    y = rng.normal(size=(6, 3))
+    lhs = F.spmm(adjacency, Tensor(x + y)).data
+    rhs = F.spmm(adjacency, Tensor(x)).data + F.spmm(adjacency, Tensor(y)).data
+    assert np.allclose(lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# Federated aggregation invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_fedavg_stays_within_convex_hull(num_clients, seed):
+    rng = np.random.default_rng(seed)
+    states = [{"w": rng.normal(size=(3, 2))} for _ in range(num_clients)]
+    weights = rng.random(num_clients) + 0.1
+    aggregated = fedavg_aggregate(states, weights.tolist())["w"]
+    stacked = np.stack([s["w"] for s in states])
+    assert np.all(aggregated <= stacked.max(axis=0) + 1e-9)
+    assert np.all(aggregated >= stacked.min(axis=0) - 1e-9)
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_fedavg_of_identical_states_is_identity(num_clients, seed):
+    rng = np.random.default_rng(seed)
+    base = {"w": rng.normal(size=(4,)), "b": rng.normal(size=(2, 2))}
+    states = [{k: v.copy() for k, v in base.items()} for _ in range(num_clients)]
+    aggregated = fedavg_aggregate(states)
+    for key in base:
+        assert np.allclose(aggregated[key], base[key])

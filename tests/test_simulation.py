@@ -1,0 +1,214 @@
+"""Tests for the data-simulation strategies: splits, injection, sparsity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import edge_homophily
+from repro.simulation import (
+    community_split,
+    edge_sparsity,
+    feature_sparsity,
+    inject_heterophilous_edges,
+    inject_homophilous_edges,
+    label_sparsity,
+    meta_injection,
+    random_injection,
+    structure_noniid_split,
+)
+
+
+class TestCommunitySplit:
+    def test_covers_all_nodes(self, homophilous_graph):
+        clients = community_split(homophilous_graph, 3, seed=0)
+        total = sum(c.num_nodes for c in clients)
+        assert total == homophilous_graph.num_nodes
+
+    def test_clients_disjoint(self, homophilous_graph):
+        clients = community_split(homophilous_graph, 3, seed=0)
+        all_ids = np.concatenate([c.metadata["global_ids"] for c in clients])
+        assert np.unique(all_ids).size == all_ids.size
+
+    def test_number_of_clients(self, homophilous_graph):
+        clients = community_split(homophilous_graph, 4, seed=0)
+        assert 1 <= len(clients) <= 4
+
+    def test_preserves_homophily(self, homophilous_graph):
+        clients = community_split(homophilous_graph, 3, seed=0)
+        global_h = edge_homophily(homophilous_graph.adjacency,
+                                  homophilous_graph.labels)
+        for client in clients:
+            if client.num_edges < 10:
+                continue
+            local_h = edge_homophily(client.adjacency, client.labels)
+            assert local_h > global_h - 0.25
+
+    def test_metadata_labels_split(self, homophilous_graph):
+        clients = community_split(homophilous_graph, 3, seed=0)
+        assert all(c.metadata["split"] == "community" for c in clients)
+
+    def test_invalid_client_count(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            community_split(homophilous_graph, 0)
+
+
+class TestStructureNonIidSplit:
+    def test_covers_all_nodes(self, homophilous_graph):
+        clients = structure_noniid_split(homophilous_graph, 3, seed=0)
+        assert sum(c.num_nodes for c in clients) == homophilous_graph.num_nodes
+
+    def test_topology_variance_larger_than_community(self, homophilous_graph):
+        community = community_split(homophilous_graph, 4, seed=0)
+        noniid = structure_noniid_split(homophilous_graph, 4, seed=0)
+
+        def spread(clients):
+            values = [edge_homophily(c.adjacency, c.labels) for c in clients
+                      if c.num_edges > 5]
+            return max(values) - min(values) if len(values) > 1 else 0.0
+
+        assert spread(noniid) > spread(community)
+
+    def test_injection_recorded_in_metadata(self, homophilous_graph):
+        clients = structure_noniid_split(homophilous_graph, 3, seed=0)
+        for client in clients:
+            assert client.metadata["split"] == "structure-noniid"
+            assert "enhance_homophily" in client.metadata
+            assert client.metadata["injection_technique"] == "random"
+
+    def test_meta_injection_mode(self, homophilous_graph):
+        clients = structure_noniid_split(homophilous_graph, 3, seed=0,
+                                         injection="meta")
+        assert all(c.metadata["injection_technique"] == "meta" for c in clients)
+
+    def test_edges_increase(self, homophilous_graph):
+        original = structure_noniid_split(homophilous_graph, 3, seed=0)
+        base = community_split(homophilous_graph, 3, seed=0)
+        assert (sum(c.num_edges for c in original)
+                > sum(c.num_edges for c in base) * 0.9)
+
+    def test_invalid_injection_name(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            structure_noniid_split(homophilous_graph, 3, injection="gradient")
+
+    def test_homophily_probability_one_only_augments(self, homophilous_graph):
+        clients = structure_noniid_split(homophilous_graph, 3, seed=0,
+                                         homophily_probability=1.0)
+        assert all(c.metadata["enhance_homophily"] for c in clients)
+
+
+class TestInjection:
+    def test_homophilous_injection_raises_homophily(self, heterophilous_graph):
+        before = edge_homophily(heterophilous_graph.adjacency,
+                                heterophilous_graph.labels)
+        injected = inject_homophilous_edges(heterophilous_graph,
+                                            sampling_ratio=0.5, seed=0)
+        after = edge_homophily(injected.adjacency, injected.labels)
+        assert after > before
+
+    def test_heterophilous_injection_lowers_homophily(self, homophilous_graph):
+        before = edge_homophily(homophilous_graph.adjacency,
+                                homophilous_graph.labels)
+        injected = inject_heterophilous_edges(homophilous_graph,
+                                              sampling_ratio=0.5, seed=0)
+        after = edge_homophily(injected.adjacency, injected.labels)
+        assert after < before
+
+    def test_injection_adds_edges(self, homophilous_graph):
+        injected = inject_homophilous_edges(homophilous_graph, 0.5, seed=0)
+        assert injected.num_edges > homophilous_graph.num_edges
+        assert injected.metadata["injected_edges"] > 0
+
+    def test_injection_does_not_modify_original(self, homophilous_graph):
+        edges_before = homophilous_graph.num_edges
+        inject_heterophilous_edges(homophilous_graph, 0.5, seed=0)
+        assert homophilous_graph.num_edges == edges_before
+
+    def test_random_injection_dispatch(self, homophilous_graph):
+        homo = random_injection(homophilous_graph, True, 0.3, seed=0)
+        hetero = random_injection(homophilous_graph, False, 0.3, seed=0)
+        assert homo.metadata["injection"] == "homophilous"
+        assert hetero.metadata["injection"] == "heterophilous"
+
+    def test_zero_ratio_is_noop(self, homophilous_graph):
+        injected = inject_homophilous_edges(homophilous_graph, 0.0, seed=0)
+        assert injected.num_edges == homophilous_graph.num_edges
+
+    def test_meta_injection_budget(self, homophilous_graph):
+        budget = 0.2
+        injected = meta_injection(homophilous_graph, budget=budget, seed=0)
+        added = injected.num_edges - homophilous_graph.num_edges
+        assert added <= int(round(budget * homophilous_graph.num_edges)) + 1
+        assert added > 0
+
+    def test_meta_injection_only_heterophilous_edges(self, homophilous_graph):
+        before = edge_homophily(homophilous_graph.adjacency,
+                                homophilous_graph.labels)
+        injected = meta_injection(homophilous_graph, budget=0.2, seed=0)
+        after = edge_homophily(injected.adjacency, injected.labels)
+        assert after < before
+
+    def test_meta_injection_zero_budget(self, homophilous_graph):
+        injected = meta_injection(homophilous_graph, budget=0.0, seed=0)
+        assert injected.num_edges == homophilous_graph.num_edges
+        assert injected.metadata["injected_edges"] == 0
+
+    def test_meta_injection_negative_budget_rejected(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            meta_injection(homophilous_graph, budget=-0.1)
+
+    def test_meta_injection_more_damaging_than_random(self, homophilous_graph):
+        """Meta-injection targets low-degree nodes, random does not."""
+        meta = meta_injection(homophilous_graph, budget=0.2, seed=0)
+        new_meta = meta.num_edges - homophilous_graph.num_edges
+        assert new_meta > 0
+        # Injected meta edges are all cross-class by construction.
+        assert edge_homophily(meta.adjacency, meta.labels) < edge_homophily(
+            homophilous_graph.adjacency, homophilous_graph.labels)
+
+
+class TestSparsity:
+    def test_feature_sparsity_zeroes_features(self, homophilous_graph):
+        sparse = feature_sparsity(homophilous_graph, 0.5, seed=0)
+        zero_rows = np.sum(~sparse.features.any(axis=1))
+        assert zero_rows > 0
+
+    def test_feature_sparsity_keeps_training_nodes(self, homophilous_graph):
+        sparse = feature_sparsity(homophilous_graph, 1.0, seed=0)
+        train_rows = sparse.features[sparse.train_mask]
+        assert np.abs(train_rows).sum() > 0
+
+    def test_feature_sparsity_invalid_ratio(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            feature_sparsity(homophilous_graph, 1.5)
+
+    def test_edge_sparsity_removes_edges(self, homophilous_graph):
+        sparse = edge_sparsity(homophilous_graph, 0.5, seed=0)
+        assert sparse.num_edges < homophilous_graph.num_edges
+        assert sparse.metadata["dropped_edges"] > 0
+
+    def test_edge_sparsity_zero_is_noop(self, homophilous_graph):
+        sparse = edge_sparsity(homophilous_graph, 0.0, seed=0)
+        assert sparse.num_edges == homophilous_graph.num_edges
+
+    def test_edge_sparsity_full_removes_everything(self, homophilous_graph):
+        sparse = edge_sparsity(homophilous_graph, 1.0, seed=0)
+        assert sparse.num_edges == 0
+
+    def test_label_sparsity_reduces_training_set(self, homophilous_graph):
+        sparse = label_sparsity(homophilous_graph, 0.05, seed=0)
+        assert sparse.train_mask.sum() < homophilous_graph.train_mask.sum()
+        assert sparse.train_mask.sum() >= 1
+
+    def test_label_sparsity_noop_when_already_sparser(self, homophilous_graph):
+        sparse = label_sparsity(homophilous_graph, 1.0, seed=0)
+        assert sparse.train_mask.sum() == homophilous_graph.train_mask.sum()
+
+    def test_label_sparsity_invalid(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            label_sparsity(homophilous_graph, 0.0)
+
+    def test_sparsity_leaves_original_untouched(self, homophilous_graph):
+        feature_count = np.abs(homophilous_graph.features).sum()
+        feature_sparsity(homophilous_graph, 0.9, seed=0)
+        edge_sparsity(homophilous_graph, 0.9, seed=0)
+        label_sparsity(homophilous_graph, 0.05, seed=0)
+        assert np.abs(homophilous_graph.features).sum() == feature_count
