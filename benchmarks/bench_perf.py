@@ -1,0 +1,184 @@
+"""Timing benchmark harness for the sparse-first propagation engine.
+
+Measures, on cSBM graphs of growing size:
+
+* **Step-1 rounds/sec** — federated collaborative training throughput of the
+  knowledge extractor;
+* **Step-2 epochs/sec** — personalized training throughput of one client,
+  for the seed-equivalent *dense* path (dense P̃, no precompute cache) and
+  for the *sparse engine* (top-k CSR P̃ + :class:`PropagationCache`);
+* **peak P̃ memory** — tracemalloc peak during client construction plus the
+  exact byte size of the stored propagation matrix;
+* **accuracy parity** — transductive test accuracy of both paths after the
+  same number of epochs.
+
+Results are written to ``benchmarks/results/BENCH_step2.json`` so the perf
+trajectory is tracked in-repo from this PR onward.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --nodes 500,1000,2000
+
+A small smoke version runs under pytest via ``test_bench_perf.py`` when the
+``bench`` marker is enabled (``pytest --run-bench`` or ``REPRO_RUN_BENCH=1``);
+plain tier-1 runs skip it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import time
+import tracemalloc
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import AdaFGLConfig, FederatedKnowledgeExtractor
+from repro.core.adafgl import PersonalizedClient
+from repro.datasets import CSBMConfig, generate_csbm, make_split_masks
+from repro.federated import FederatedConfig
+
+try:  # imported as benchmarks.bench_perf (pytest) or run as a script
+    from benchmarks.bench_utils import record_json
+except ImportError:  # pragma: no cover - script mode
+    from bench_utils import record_json
+
+NUM_FEATURES = 128
+NUM_CLASSES = 5
+
+
+def make_graph(num_nodes: int, seed: int = 0):
+    config = CSBMConfig(
+        num_nodes=num_nodes, num_classes=NUM_CLASSES,
+        num_features=NUM_FEATURES, avg_degree=10.0, edge_homophily=0.6,
+        feature_signal=1.0, blocks_per_class=2, seed=seed,
+        name=f"bench-{num_nodes}")
+    graph = generate_csbm(config)
+    make_split_masks(graph, 0.5, 0.25, 0.25, seed=seed)
+    graph.metadata["num_classes"] = NUM_CLASSES
+    return graph
+
+
+def matrix_megabytes(matrix) -> float:
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        nbytes = csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+    else:
+        nbytes = np.asarray(matrix).nbytes
+    return nbytes / 2 ** 20
+
+
+def bench_step1(graph, rounds: int, seed: int = 0):
+    """Time the federated knowledge extractor; returns (rounds/sec, P̂)."""
+    extractor = FederatedKnowledgeExtractor(
+        [graph], hidden=64,
+        config=FederatedConfig(rounds=rounds, local_epochs=2, seed=seed))
+    start = time.perf_counter()
+    extractor.run()
+    elapsed = time.perf_counter() - start
+    probs = extractor.client_probabilities()[0]
+    return rounds / elapsed, probs
+
+
+def bench_client(graph, probs, config: AdaFGLConfig, epochs: int) -> Dict:
+    """Build one Step-2 client and time setup + training epochs."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    client = PersonalizedClient(0, graph, probs, config)
+    if client.prop_cache is not None:
+        # Fold the one-off block precompute into setup, where it belongs.
+        client.prop_cache.concatenated(config.k_prop)
+    setup_sec = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    start = time.perf_counter()
+    for _ in range(epochs):
+        client.train_epoch()
+    train_sec = time.perf_counter() - start
+
+    return {
+        "setup_sec": round(setup_sec, 4),
+        "setup_peak_mb": round(peak_bytes / 2 ** 20, 3),
+        "matrix_mb": round(matrix_megabytes(client.propagation), 3),
+        "sec_per_epoch": round(train_sec / epochs, 4),
+        "epochs_per_sec": round(epochs / train_sec, 3),
+        "test_accuracy": round(client.evaluate("test"), 4),
+    }
+
+
+def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
+                  top_k: int = 32, seed: int = 0,
+                  output_name: str = "BENCH_step2") -> Dict:
+    base = AdaFGLConfig(hidden=64, seed=seed)
+    dense_config = dataclasses.replace(
+        base, sparse_propagation=False, use_propagation_cache=False)
+    sparse_config = dataclasses.replace(
+        base, sparse_propagation=True, propagation_top_k=top_k,
+        use_propagation_cache=True)
+
+    report: Dict = {
+        "config": {
+            "epochs": epochs, "step1_rounds": step1_rounds, "top_k": top_k,
+            "num_features": NUM_FEATURES, "num_classes": NUM_CLASSES,
+            "k_prop": base.k_prop, "seed": seed,
+        },
+        "sizes": [],
+    }
+    for num_nodes in sizes:
+        graph = make_graph(num_nodes, seed=seed)
+        rounds_per_sec, probs = bench_step1(graph, step1_rounds, seed=seed)
+        dense = bench_client(graph, probs, dense_config, epochs)
+        sparse = bench_client(graph, probs, sparse_config, epochs)
+        entry = {
+            "num_nodes": num_nodes,
+            "step1_rounds_per_sec": round(rounds_per_sec, 3),
+            "dense": dense,
+            "sparse": sparse,
+            "epoch_speedup": round(
+                dense["sec_per_epoch"] / sparse["sec_per_epoch"], 2),
+            "matrix_memory_ratio": round(
+                dense["matrix_mb"] / max(sparse["matrix_mb"], 1e-9), 2),
+            "accuracy_gap": round(
+                dense["test_accuracy"] - sparse["test_accuracy"], 4),
+        }
+        report["sizes"].append(entry)
+        print(f"n={num_nodes:>6}  step1 {rounds_per_sec:6.2f} r/s  "
+              f"dense {dense['sec_per_epoch']:.3f}s/ep  "
+              f"sparse {sparse['sec_per_epoch']:.3f}s/ep  "
+              f"speedup {entry['epoch_speedup']:.2f}x  "
+              f"mem {dense['matrix_mb']:.1f}->{sparse['matrix_mb']:.1f} MB  "
+              f"acc {dense['test_accuracy']:.3f}/{sparse['test_accuracy']:.3f}")
+
+    record_json(output_name, report)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", default="500,1000,2000",
+                        help="comma-separated cSBM sizes")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--step1-rounds", type=int, default=5)
+    parser.add_argument("--top-k", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output-name", default="BENCH_step2")
+    args = parser.parse_args(argv)
+    try:
+        sizes = [int(part) for part in args.nodes.split(",") if part]
+    except ValueError:
+        parser.error(f"--nodes expects comma-separated integers, "
+                     f"got {args.nodes!r}")
+    if not sizes:
+        parser.error("--nodes must name at least one size")
+    if args.top_k < 1:
+        parser.error("--top-k must be >= 1")
+    return run_benchmark(sizes, epochs=args.epochs,
+                         step1_rounds=args.step1_rounds, top_k=args.top_k,
+                         seed=args.seed, output_name=args.output_name)
+
+
+if __name__ == "__main__":
+    main()

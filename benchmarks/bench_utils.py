@@ -15,6 +15,7 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, List, Sequence
@@ -80,3 +81,16 @@ def record(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def record_json(name: str, payload: Dict) -> Path:
+    """Persist a structured result under benchmarks/results/<name>.json.
+
+    Used by the timing harness (``bench_perf.py``) so perf trajectories can
+    be diffed across PRs; returns the written path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[saved to {path}]")
+    return path

@@ -1,0 +1,22 @@
+"""Pytest entry point for the sparse-engine timing harness (marker: bench).
+
+Skipped by tier-1 runs; enable with ``pytest --run-bench`` or
+``REPRO_RUN_BENCH=1``.  Uses small graphs so CI-scale machines finish in
+seconds; the checked-in ``BENCH_step2.json`` is produced by running
+``bench_perf.py`` directly at full size.
+"""
+
+import pytest
+
+from benchmarks.bench_perf import run_benchmark
+
+
+@pytest.mark.bench
+def test_perf_harness_smoke():
+    report = run_benchmark([200, 400], epochs=4, step1_rounds=2, top_k=16,
+                           output_name="BENCH_step2_smoke")
+    assert len(report["sizes"]) == 2
+    for entry in report["sizes"]:
+        assert entry["epoch_speedup"] > 0
+        assert entry["dense"]["matrix_mb"] >= entry["sparse"]["matrix_mb"]
+        assert 0.0 <= entry["sparse"]["test_accuracy"] <= 1.0

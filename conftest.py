@@ -1,0 +1,42 @@
+"""Repository-level pytest configuration: benchmark markers.
+
+Tier-1 verification (``PYTHONPATH=src python -m pytest -x -q``) must stay
+fast and deterministic, so tests marked ``bench`` (the timing harness) are
+skipped unless explicitly requested with ``--run-bench`` or
+``REPRO_RUN_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="run tests marked 'bench' (timing benchmark harness)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: timing benchmark harness; skipped unless --run-bench or "
+        "REPRO_RUN_BENCH=1")
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test; may be deselected with -m 'not slow'")
+    config.addinivalue_line(
+        "markers", "integration: end-to-end integration test")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-bench") or \
+            os.environ.get("REPRO_RUN_BENCH", "0") == "1":
+        return
+    skip_bench = pytest.mark.skip(
+        reason="timing harness: pass --run-bench or set REPRO_RUN_BENCH=1")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip_bench)

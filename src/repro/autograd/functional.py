@@ -51,6 +51,65 @@ def propagate(adjacency: Union[sp.spmatrix, np.ndarray], features: Tensor) -> Te
     return as_tensor(adjacency).matmul(features)
 
 
+def sddmm(rows: np.ndarray, cols: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Sampled dense-dense matmul: ``out[e] = a[rows[e]] · b[cols[e]]``.
+
+    Computes the entries of ``A Bᵀ`` only at the sampled ``(rows, cols)``
+    positions — ``O(nnz · c)`` instead of ``O(n² · c)`` — and is
+    differentiable in both dense operands.  This is the similarity kernel of
+    the sparse-first message passing: restricted to a fixed support, the
+    ``H Hᵀ`` update never materialises an ``(n, n)`` matrix.
+    """
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    out_data = np.einsum("ij,ij->i", a.data[rows], b.data[cols])
+
+    def backward(grad):
+        column = grad[:, None]
+        if a.requires_grad:
+            grad_a = np.zeros_like(a.data)
+            np.add.at(grad_a, rows, column * b.data[cols])
+            a._accumulate(grad_a)
+        if b.requires_grad:
+            grad_b = np.zeros_like(b.data)
+            np.add.at(grad_b, cols, column * a.data[rows])
+            b._accumulate(grad_b)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def spmm_pattern(pattern: sp.csr_matrix, values: Tensor,
+                 dense: Tensor) -> Tensor:
+    """``S(values) @ dense`` where ``S`` has the fixed CSR ``pattern``.
+
+    Unlike :func:`spmm`, the nonzero *values* are a differentiable tensor
+    (one entry per stored position of ``pattern``, in CSR order); only the
+    sparsity structure is constant.  Gradients: ``d values = sddmm(grad,
+    dense)`` on the pattern and ``d dense = Sᵀ grad``.
+    """
+    if not sp.issparse(pattern):
+        raise TypeError("spmm_pattern expects a scipy sparse pattern")
+    pattern = pattern.tocsr()
+    if values.data.shape != (pattern.nnz,):
+        raise ValueError(
+            f"values must have one entry per stored element "
+            f"({pattern.nnz}), got shape {values.data.shape}")
+    matrix = sp.csr_matrix((values.data, pattern.indices, pattern.indptr),
+                           shape=pattern.shape)
+    out_data = matrix @ dense.data
+
+    def backward(grad):
+        if values.requires_grad:
+            rows = np.repeat(np.arange(pattern.shape[0]),
+                             np.diff(pattern.indptr))
+            values._accumulate(np.einsum("ij,ij->i", grad[rows],
+                                         dense.data[pattern.indices]))
+        if dense.requires_grad:
+            dense._accumulate(matrix.T @ grad)
+
+    return Tensor._make(out_data, (values, dense), backward)
+
+
 # ----------------------------------------------------------------------
 # Activations / normalisations
 # ----------------------------------------------------------------------

@@ -133,7 +133,10 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            # Backward closures hand over freshly-allocated arrays and no
+            # caller mutates gradients in place (optimizers rebind), so the
+            # array can be adopted without a defensive copy.
+            self.grad = np.asarray(grad, dtype=np.float64)
         else:
             self.grad = self.grad + grad
 
@@ -153,7 +156,9 @@ class Tensor:
                     f"tensor, got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        # Copy the seed: _accumulate adopts arrays without copying, and the
+        # caller may reuse the one it passed in.
+        grad = np.array(grad, dtype=np.float64, copy=True)
 
         # Topologically order the graph reachable from ``self``.
         topo: list[Tensor] = []
@@ -190,9 +195,15 @@ class Tensor:
         other = self._coerce(other)
         out_data = self.data + other.data
 
+        # Guard every operand-gradient computation on requires_grad: hot
+        # loops mix constants (propagation operators, hyperparameter
+        # scalars) into the graph, and materialising their gradients would
+        # allocate and reduce large arrays only to throw them away.
         def backward(grad):
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(grad, other.data.shape))
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -209,8 +220,10 @@ class Tensor:
         out_data = self.data - other.data
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(-grad, other.data.shape))
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -222,8 +235,12 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+            if self.requires_grad:
+                self._accumulate(
+                    _unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(grad * self.data, other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -234,10 +251,13 @@ class Tensor:
         out_data = self.data / other.data
 
         def backward(grad):
-            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data ** 2),
-                             other.data.shape))
+            if self.requires_grad:
+                self._accumulate(
+                    _unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2),
+                                 other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -261,8 +281,10 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(grad):
-            self._accumulate(grad @ other.data.T)
-            other._accumulate(self.data.T @ grad)
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
 
         return Tensor._make(out_data, (self, other), backward)
 

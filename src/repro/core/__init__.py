@@ -17,6 +17,7 @@ from repro.core.knowledge import (
 )
 from repro.core.hcs import homophily_confidence_score, label_propagation
 from repro.core.modules import AdaFGLClientModel
+from repro.core.propagation import PropagationCache
 from repro.core.ablation import ablation_variants
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "AdaFGLConfig",
     "FederatedKnowledgeExtractor",
     "optimized_propagation_matrix",
+    "PropagationCache",
     "homophily_confidence_score",
     "label_propagation",
     "AdaFGLClientModel",

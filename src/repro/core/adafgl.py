@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -14,6 +15,7 @@ from repro.core.knowledge import (
     optimized_propagation_matrix,
 )
 from repro.core.modules import AdaFGLClientModel
+from repro.core.propagation import PropagationCache
 from repro.federated import FederatedConfig
 from repro.graph import Graph, edge_homophily
 from repro.graph.normalize import normalize_adjacency
@@ -56,6 +58,16 @@ class AdaFGLConfig:
     dropout: float = 0.3
     knowledge_weight: float = 0.1
 
+    # Sparse-first propagation engine.  ``sparse_propagation`` keeps P̃ in CSR
+    # form with only the ``propagation_top_k`` strongest similarity entries
+    # per row (Eq. 5); ``use_propagation_cache`` precomputes the constant
+    # k-hop feature blocks once per client; ``num_workers > 1`` trains the
+    # (embarrassingly parallel) Step-2 clients in a process pool.
+    sparse_propagation: bool = False
+    propagation_top_k: Optional[int] = 32
+    use_propagation_cache: bool = True
+    num_workers: int = 0
+
     # HCS / label propagation.
     lp_steps: int = 5
     lp_kappa: float = 0.5
@@ -81,20 +93,36 @@ class PersonalizedClient:
     """Step-2 state of one client: local model, P̃, P̂ and HCS."""
 
     def __init__(self, client_id: int, graph: Graph,
-                 extractor_probs: np.ndarray, config: AdaFGLConfig):
+                 extractor_probs: np.ndarray, config: AdaFGLConfig,
+                 *, propagation=None, hcs: Optional[float] = None):
         self.client_id = client_id
         self.graph = graph
         self.config = config
         self.extractor_probs = np.asarray(extractor_probs)
+        self.prop_cache = None
 
-        if config.use_local_topology:
+        # ``propagation`` / ``hcs`` may be supplied precomputed (e.g. shipped
+        # back from a Step-2 worker process) to skip the expensive setup.
+        if propagation is not None:
+            self.propagation = propagation
+        elif config.use_local_topology:
             self.propagation = optimized_propagation_matrix(
-                graph.adjacency, self.extractor_probs, alpha=config.alpha)
+                graph.adjacency, self.extractor_probs, alpha=config.alpha,
+                sparse=config.sparse_propagation,
+                top_k=(config.propagation_top_k
+                       if config.sparse_propagation else None))
         else:
-            self.propagation = normalize_adjacency(
-                graph.adjacency, r=0.5, self_loops=True).toarray()
+            normalised = normalize_adjacency(graph.adjacency, r=0.5,
+                                             self_loops=True)
+            self.propagation = (normalised if config.sparse_propagation
+                                else normalised.toarray())
+        if config.use_propagation_cache:
+            self.prop_cache = PropagationCache(self.propagation,
+                                               graph.features)
 
-        if config.use_hcs:
+        if hcs is not None:
+            self.hcs = hcs
+        elif config.use_hcs:
             self.hcs = homophily_confidence_score(
                 graph, k=config.lp_steps, kappa=config.lp_kappa,
                 mask_probability=config.mask_probability,
@@ -114,6 +142,18 @@ class PersonalizedClient:
                               weight_decay=config.weight_decay)
 
     # ------------------------------------------------------------------
+    @property
+    def propagation(self):
+        return self._propagation
+
+    @propagation.setter
+    def propagation(self, value) -> None:
+        """Reassigning P̃ keeps the precompute cache in sync (invalidated)."""
+        self._propagation = value
+        if self.prop_cache is not None:
+            self.prop_cache.propagation = value
+
+    # ------------------------------------------------------------------
     def _combined_log_probs(self, outputs: Dict[str, Tensor]) -> Tensor:
         combined = outputs["combined"]
         return (combined + 1e-9).log()
@@ -130,7 +170,8 @@ class PersonalizedClient:
         self.model.train()
         self.optimizer.zero_grad()
         outputs = self.model(self.graph.features, self.propagation,
-                             self.extractor_probs, self.hcs)
+                             self.extractor_probs, self.hcs,
+                             cache=self.prop_cache)
         log_probs = self._combined_log_probs(outputs)
         loss = F.nll_loss(log_probs, self.graph.labels,
                           mask=self.graph.train_mask)
@@ -154,7 +195,8 @@ class PersonalizedClient:
         self.model.eval()
         with no_grad():
             outputs = self.model(self.graph.features, self.propagation,
-                                 self.extractor_probs, self.hcs)
+                                 self.extractor_probs, self.hcs,
+                                 cache=self.prop_cache)
             probs = outputs["combined"].numpy()
         self.model.train()
         return probs
@@ -164,6 +206,31 @@ class PersonalizedClient:
         if mask.sum() == 0:
             return 0.0
         return masked_accuracy(self.predict(), self.graph.labels, mask)
+
+
+def _train_personalized_client(payload: Tuple) -> Tuple:
+    """Process-pool worker: train one Step-2 client end to end.
+
+    Clients are embarrassingly parallel — no state is exchanged during
+    personalized training — so each worker builds its client from the same
+    (graph, P̂, config) triple the serial path uses, runs every epoch, and
+    ships back the trained weights plus the per-epoch losses and the metrics
+    needed to reconstruct the aggregate training history.
+    """
+    client_id, graph, extractor_probs, config, epochs, checkpoints = payload
+    client = PersonalizedClient(client_id, graph, extractor_probs, config)
+    checkpoint_set = set(checkpoints)
+    losses: List[float] = []
+    metrics: Dict[int, Dict[str, float]] = {}
+    for epoch in range(1, epochs + 1):
+        losses.append(client.train_epoch())
+        if epoch in checkpoint_set:
+            metrics[epoch] = {"train": client.evaluate("train"),
+                              "test": client.evaluate("test")}
+    counts = {split: int(getattr(graph, f"{split}_mask").sum())
+              for split in ("train", "test")}
+    return (client_id, client.model.state_dict(), losses, metrics, counts,
+            client.propagation, client.hcs)
 
 
 class AdaFGL:
@@ -202,22 +269,35 @@ class AdaFGL:
         return self.step1_history
 
     def run_step2(self, epochs: Optional[int] = None) -> TrainingHistory:
-        """Personalized propagation on every client (Alg. 2)."""
+        """Personalized propagation on every client (Alg. 2).
+
+        With ``config.num_workers > 1`` the clients — which never exchange
+        state during Step 2 — are trained concurrently in a process pool;
+        the recorded history is reconstructed from per-worker metrics and
+        matches the serial schedule checkpoint for checkpoint.
+        """
         if self.step1_history is None:
             raise RuntimeError("run_step1 must be executed before run_step2")
         epochs = epochs if epochs is not None else self.config.personalized_epochs
 
         probabilities = self.extractor.client_probabilities()
+        graphs = self.extractor.client_graphs()
+        offset = self.step1_history.rounds[-1] if self.step1_history.rounds else 0
+        checkpoints = [epoch for epoch in range(1, epochs + 1)
+                       if epoch % max(1, epochs // 10) == 0 or epoch == epochs]
+
+        if self.config.num_workers > 1 and len(graphs) > 1:
+            self._run_step2_parallel(graphs, probabilities, epochs,
+                                     checkpoints, offset)
+            return self.history
+
         self.personalized = [
             PersonalizedClient(index, graph, probs, self.config)
-            for index, (graph, probs) in enumerate(
-                zip(self.extractor.client_graphs(), probabilities))
+            for index, (graph, probs) in enumerate(zip(graphs, probabilities))
         ]
-
-        offset = self.step1_history.rounds[-1] if self.step1_history.rounds else 0
         for epoch in range(1, epochs + 1):
             losses = [client.train_epoch() for client in self.personalized]
-            if epoch % max(1, epochs // 10) == 0 or epoch == epochs:
+            if epoch in set(checkpoints):
                 train_acc = self.evaluate("train")
                 test_acc = self.evaluate("test")
                 per_client = {c.client_id: c.evaluate("test")
@@ -225,6 +305,53 @@ class AdaFGL:
                 self.history.record(offset + epoch, train_acc, test_acc,
                                     float(np.mean(losses)), per_client)
         return self.history
+
+    def _run_step2_parallel(self, graphs: Sequence[Graph],
+                            probabilities: Sequence[np.ndarray], epochs: int,
+                            checkpoints: List[int], offset: int) -> None:
+        """Train every Step-2 client in a process pool and merge the results."""
+        payloads = [(index, graph, probs, self.config, epochs, checkpoints)
+                    for index, (graph, probs) in enumerate(
+                        zip(graphs, probabilities))]
+        workers = min(self.config.num_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves input order, so results align with client ids.
+            results = list(pool.map(_train_personalized_client, payloads))
+
+        # Rebuild in-process clients carrying the trained weights so that
+        # evaluate() / client_reports() / client_hcs() work exactly as after
+        # a serial run; P̃ and HCS come back from the workers so their
+        # expensive setup is not paid twice.
+        self.personalized = []
+        all_losses: Dict[int, List[float]] = {}
+        all_metrics: Dict[int, Dict[int, Dict[str, float]]] = {}
+        all_counts: Dict[int, Dict[str, int]] = {}
+        for client_id, state, losses, metrics, counts, prop, hcs in results:
+            client = PersonalizedClient(client_id, graphs[client_id],
+                                        probabilities[client_id], self.config,
+                                        propagation=prop, hcs=hcs)
+            client.model.load_state_dict(state)
+            self.personalized.append(client)
+            all_losses[client_id] = losses
+            all_metrics[client_id] = metrics
+            all_counts[client_id] = counts
+
+        for epoch in checkpoints:
+            accuracy = {}
+            for split in ("train", "test"):
+                total = sum(all_metrics[cid][epoch][split]
+                            * all_counts[cid][split]
+                            for cid in all_metrics
+                            if all_counts[cid][split] > 0)
+                weight = sum(all_counts[cid][split] for cid in all_metrics
+                             if all_counts[cid][split] > 0)
+                accuracy[split] = total / weight if weight else 0.0
+            per_client = {cid: all_metrics[cid][epoch]["test"]
+                          for cid in sorted(all_metrics)}
+            mean_loss = float(np.mean([all_losses[cid][epoch - 1]
+                                       for cid in sorted(all_losses)]))
+            self.history.record(offset + epoch, accuracy["train"],
+                                accuracy["test"], mean_loss, per_client)
 
     def run(self, rounds: Optional[int] = None,
             epochs: Optional[int] = None) -> TrainingHistory:

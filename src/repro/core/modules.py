@@ -14,13 +14,19 @@ The per-client model combines:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.autograd import Tensor, functional as F
+from repro.core.propagation import PropagationCache
 from repro.nn import Linear, MLP, Module
 from repro.nn.module import Parameter
+
+#: Propagation operators accepted throughout Step 2: dense arrays or any
+#: scipy sparse matrix (the sparse-first engine hands around CSR).
+PropagationMatrix = Union[np.ndarray, sp.spmatrix]
 
 
 class MessageUpdater(Module):
@@ -30,10 +36,18 @@ class MessageUpdater(Module):
                  k: int, dropout: float = 0.3, seed: int = 0):
         super().__init__()
         self.k = k
+        self.in_features = in_features
         self.mlp = MLP(in_features * k, [hidden], out_features,
                        dropout=dropout, seed=seed)
 
-    def forward(self, propagated: List[Tensor]) -> Tensor:
+    def forward(self, propagated: Union[Sequence[Tensor], Tensor]) -> Tensor:
+        if isinstance(propagated, Tensor):
+            # Pre-concatenated (n, k·f) block straight from a PropagationCache.
+            if propagated.shape[1] != self.k * self.in_features:
+                raise ValueError(
+                    f"expected a concatenated block of width "
+                    f"{self.k * self.in_features}, got {propagated.shape[1]}")
+            return self.mlp(propagated)
         if len(propagated) != self.k:
             raise ValueError(
                 f"expected {self.k} propagated feature blocks, got {len(propagated)}")
@@ -59,13 +73,22 @@ class LearnableMessagePassing(Module):
             self._layer_names.append(name)
 
     def forward(self, knowledge_embedding: Tensor,
-                propagation_matrix: np.ndarray) -> Tensor:
+                propagation_matrix: PropagationMatrix) -> Tensor:
         """Run the signed message-passing refinement.
 
         ``knowledge_embedding`` is H_m^{(0)} = H̃ and ``propagation_matrix``
         is P̃^{(0)}; both are per-client quantities from Step 1.
+
+        A dense P̃ follows the textbook Eq. 11–12 with an explicit ``(n, n)``
+        similarity update.  A sparse P̃ routes through the sparse-first path
+        instead: the similarity refinement is restricted to the fixed support
+        of P̃ (an SDDMM), so the whole module stays ``O(nnz · c)``.  When P̃
+        keeps every off-diagonal entry (``top_k=None``) the support is full
+        and both paths coincide numerically.
         """
         h_m = knowledge_embedding
+        if sp.issparse(propagation_matrix):
+            return self._forward_sparse(h_m, propagation_matrix.tocsr())
         p_current = Tensor(np.asarray(propagation_matrix))
         for name in self._layer_names:
             h_m = F.relu(getattr(self, name)(h_m))
@@ -74,6 +97,21 @@ class LearnableMessagePassing(Module):
             h_pos = F.relu(p_current).matmul(h_m)
             h_neg = F.relu(-p_current).matmul(h_m)
             scale = 1.0 / max(1.0, float(h_m.shape[0]))
+            h_m = h_m + (h_pos - h_neg) * scale
+        return h_m
+
+    def _forward_sparse(self, h_m: Tensor, pattern: sp.csr_matrix) -> Tensor:
+        """Eq. 11–12 on the fixed support of a sparse P̃ (never ``(n, n)``)."""
+        rows = np.repeat(np.arange(pattern.shape[0]), np.diff(pattern.indptr))
+        cols = pattern.indices
+        p_values = Tensor(pattern.data)
+        scale = 1.0 / max(1.0, float(h_m.shape[0]))
+        for name in self._layer_names:
+            h_m = F.relu(getattr(self, name)(h_m))
+            similarity = F.sddmm(rows, cols, h_m, h_m)
+            p_values = p_values * self.beta + similarity * (1.0 - self.beta)
+            h_pos = F.spmm_pattern(pattern, F.relu(p_values), h_m)
+            h_neg = F.spmm_pattern(pattern, F.relu(-p_values), h_m)
             h_m = h_m + (h_pos - h_neg) * scale
         return h_m
 
@@ -122,15 +160,31 @@ class AdaFGLClientModel(Module):
 
     # ------------------------------------------------------------------
     def knowledge_embedding(self, features: np.ndarray,
-                            propagation_matrix: np.ndarray) -> Tensor:
-        """Eq. 7: H̃ from k-step smoothing through P̃ and the MessageUpdater."""
-        x = Tensor(np.asarray(features))
-        prop = np.asarray(propagation_matrix)
+                            propagation_matrix: PropagationMatrix,
+                            cache: Optional[PropagationCache] = None) -> Tensor:
+        """Eq. 7: H̃ from k-step smoothing through P̃ and the MessageUpdater.
+
+        When a :class:`PropagationCache` is supplied, the k-hop products (and
+        their concatenation) are constants fetched from the cache instead of
+        being recomputed — they never change across epochs.  The cache is
+        assumed to wrap the same operator as ``propagation_matrix``
+        (``PersonalizedClient`` keeps the two in sync on reassignment).
+        """
+        if cache is not None:
+            return self.knowledge_updater(cache.concatenated(self.k_prop))
         propagated: List[Tensor] = []
-        current = x
-        for _ in range(self.k_prop):
-            current = Tensor(prop).matmul(current)
-            propagated.append(current)
+        current = F.as_tensor(features)
+        if sp.issparse(propagation_matrix):
+            operator = propagation_matrix.tocsr()
+            for _ in range(self.k_prop):
+                current = F.spmm(operator, current)
+                propagated.append(current)
+        else:
+            # Wrap the dense operator exactly once, not per hop per epoch.
+            operator = F.as_tensor(propagation_matrix)
+            for _ in range(self.k_prop):
+                current = operator.matmul(current)
+                propagated.append(current)
         return self.knowledge_updater(propagated)
 
     def homophilous_prediction(self, knowledge_embedding: Tensor,
@@ -141,7 +195,7 @@ class AdaFGLClientModel(Module):
 
     def heterophilous_prediction(self, features: np.ndarray,
                                  knowledge_embedding: Tensor,
-                                 propagation_matrix: np.ndarray) -> Tensor:
+                                 propagation_matrix: PropagationMatrix) -> Tensor:
         """Eq. 13: gated combination of the available heterophilous views."""
         views = [F.softmax(knowledge_embedding, axis=-1)]
         if self.use_topology_independent:
@@ -157,10 +211,13 @@ class AdaFGLClientModel(Module):
             combined = weighted if combined is None else combined + weighted
         return combined
 
-    def forward(self, features: np.ndarray, propagation_matrix: np.ndarray,
-                extractor_probs: np.ndarray, hcs: float) -> dict:
+    def forward(self, features: np.ndarray,
+                propagation_matrix: PropagationMatrix,
+                extractor_probs: np.ndarray, hcs: float,
+                cache: Optional[PropagationCache] = None) -> dict:
         """Produce every prediction head and the HCS-combined output (Eq. 17)."""
-        knowledge = self.knowledge_embedding(features, propagation_matrix)
+        knowledge = self.knowledge_embedding(features, propagation_matrix,
+                                             cache=cache)
         y_ho = self.homophilous_prediction(knowledge, extractor_probs)
         y_he = self.heterophilous_prediction(features, knowledge,
                                              propagation_matrix)

@@ -1,0 +1,114 @@
+"""Per-client propagation precompute cache — the sparse-first engine hot path.
+
+AdaFGL's Step-2 knowledge smoothing (Eq. 7) propagates the *fixed* feature
+matrix ``X`` through the *fixed* optimized matrix P̃ for ``k`` hops every
+epoch.  Neither operand ever changes during personalized training, so the
+propagated blocks ``[P̃X, P̃²X, …, P̃ᵏX]`` — and their concatenation fed to the
+``MessageUpdater`` MLP — are per-client constants.  :class:`PropagationCache`
+computes them once (routing every fixed-operator product through
+:func:`repro.autograd.functional.propagate`, i.e. sparse CSR ``spmm`` when P̃
+is sparse) and hands out constant tensors on every subsequent epoch,
+replacing ``O(k · n² · f)`` dense work per epoch with an ``O(k · nnz(P̃) · f)``
+one-off.
+
+When to prefer sparse vs. dense P̃
+---------------------------------
+* **Sparse (top-k)** — the default choice at scale: memory is
+  ``O(n · (k + degree))`` instead of ``O(n²)`` and each hop costs
+  ``O(nnz · f)``.  With ``top_k ≳ 32`` the retained similarity mass tracks
+  the dense matrix closely (see ``benchmarks/results/BENCH_step2.json``).
+* **Dense** — exact Eq. 5–6 semantics; fine below a few thousand nodes and
+  required when every pairwise similarity entry must participate (e.g. the
+  equivalence tests).  A sparse P̃ additionally routes the learnable message
+  passing (Eq. 11–12) through SDDMM / pattern-spmm kernels restricted to
+  P̃'s support, so the whole Step-2 epoch stays ``O(nnz)``.
+
+The cache invalidates itself whenever :attr:`propagation` is reassigned, so
+a client that rebuilds P̃ (new alpha, refreshed P̂) transparently recomputes
+its blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, functional as F, no_grad
+
+Operator = Union[np.ndarray, sp.spmatrix]
+
+
+class PropagationCache:
+    """Precomputed k-hop propagated feature blocks for one client.
+
+    Parameters
+    ----------
+    propagation:
+        The fixed propagation operator P̃ — dense ``(n, n)`` array or scipy
+        sparse matrix.
+    features:
+        The fixed node feature matrix ``X`` of shape ``(n, f)``.
+    """
+
+    def __init__(self, propagation: Operator, features: np.ndarray):
+        self._propagation = propagation
+        self._features = np.asarray(features, dtype=np.float64)
+        if self._features.ndim != 2:
+            raise ValueError("features must be a 2-D (n, f) matrix")
+        if propagation.shape[0] != propagation.shape[1]:
+            raise ValueError("propagation operator must be square")
+        if propagation.shape[0] != self._features.shape[0]:
+            raise ValueError(
+                "propagation operator and features disagree on node count")
+        self._blocks: List[np.ndarray] = []
+        self._concats: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def propagation(self) -> Operator:
+        return self._propagation
+
+    @propagation.setter
+    def propagation(self, value: Operator) -> None:
+        if value.shape != (self._features.shape[0],) * 2:
+            raise ValueError("new propagation operator has the wrong shape")
+        self._propagation = value
+        self.invalidate()
+
+    @property
+    def num_cached_hops(self) -> int:
+        return len(self._blocks)
+
+    def invalidate(self) -> None:
+        """Drop every cached block (called automatically on P̃ reassignment)."""
+        self._blocks = []
+        self._concats = {}
+
+    # ------------------------------------------------------------------
+    def _ensure(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        current = self._blocks[-1] if self._blocks else self._features
+        with no_grad():
+            while len(self._blocks) < k:
+                propagated = F.propagate(self._propagation, Tensor(current))
+                current = propagated.data
+                self._blocks.append(current)
+
+    def blocks(self, k: int) -> List[Tensor]:
+        """``[P̃X, P̃²X, …, P̃ᵏX]`` as constant (no-grad) tensors."""
+        self._ensure(k)
+        return [Tensor(block) for block in self._blocks[:k]]
+
+    def concatenated(self, k: int) -> Tensor:
+        """The ``(n, k·f)`` concatenation of the first ``k`` blocks.
+
+        This is exactly the input of the Eq. 7 ``MessageUpdater`` MLP, cached
+        so the concatenation copy is also paid once rather than per epoch.
+        """
+        if k not in self._concats:
+            self._ensure(k)
+            self._concats[k] = np.concatenate(self._blocks[:k], axis=1)
+        return Tensor(self._concats[k])

@@ -77,6 +77,91 @@ class TestSparsePropagation:
         with pytest.raises(TypeError):
             F.spmm(np.eye(3), Tensor(np.ones((3, 2))))
 
+    def test_spmm_numerical_gradient(self):
+        """Finite-difference check of the spmm backward pass."""
+        rng = np.random.default_rng(7)
+        adjacency = sp.random(6, 6, density=0.5, format="csr", random_state=3)
+        base = rng.normal(size=(6, 3))
+
+        def loss_value(array):
+            out = F.spmm(adjacency, Tensor(array))
+            return float((out * out).sum().data)
+
+        x = Tensor(base.copy(), requires_grad=True)
+        out = F.spmm(adjacency, x)
+        (out * out).sum().backward()
+
+        eps = 1e-6
+        numeric = np.zeros_like(base)
+        for i in range(base.shape[0]):
+            for j in range(base.shape[1]):
+                plus = base.copy()
+                plus[i, j] += eps
+                minus = base.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (loss_value(plus) - loss_value(minus)) / (2 * eps)
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_sddmm_matches_dense_product(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(5, 4))
+        rows = np.array([0, 0, 2, 4])
+        cols = np.array([1, 3, 2, 0])
+        out = F.sddmm(rows, cols, Tensor(a), Tensor(b))
+        assert np.allclose(out.data, (a @ b.T)[rows, cols])
+
+    def test_sddmm_numerical_gradient(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(4, 3))
+        rows = np.array([0, 1, 1, 3])
+        cols = np.array([2, 0, 3, 3])
+
+        def loss_value(array):
+            vals = F.sddmm(rows, cols, Tensor(array), Tensor(array))
+            return float((vals * vals).sum().data)
+
+        x = Tensor(base.copy(), requires_grad=True)
+        vals = F.sddmm(rows, cols, x, x)
+        (vals * vals).sum().backward()
+
+        eps = 1e-6
+        numeric = np.zeros_like(base)
+        for i in range(base.shape[0]):
+            for j in range(base.shape[1]):
+                plus = base.copy()
+                plus[i, j] += eps
+                minus = base.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (loss_value(plus) - loss_value(minus)) / (2 * eps)
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_spmm_pattern_matches_dense(self):
+        rng = np.random.default_rng(4)
+        pattern = sp.random(6, 6, density=0.4, format="csr", random_state=5)
+        x = rng.normal(size=(6, 2))
+        values = Tensor(rng.normal(size=pattern.nnz))
+        out = F.spmm_pattern(pattern, values, Tensor(x))
+        rebuilt = sp.csr_matrix((values.data, pattern.indices, pattern.indptr),
+                                shape=pattern.shape)
+        assert np.allclose(out.data, rebuilt @ x)
+
+    def test_spmm_pattern_gradients(self):
+        """d values = grad·dense sampled at the pattern; d dense = Sᵀ grad."""
+        pattern = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        values = Tensor(np.array([2.0, 3.0, 4.0]), requires_grad=True)
+        dense = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        F.spmm_pattern(pattern, values, dense).sum().backward()
+        # rows of stored entries: (0,1), (1,0), (1,1); grad upstream all-ones.
+        assert np.allclose(values.grad, [3.0 + 4.0, 1.0 + 2.0, 3.0 + 4.0])
+        matrix = np.array([[0.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(dense.grad, matrix.T @ np.ones((2, 2)))
+
+    def test_spmm_pattern_rejects_wrong_value_count(self):
+        pattern = sp.csr_matrix(np.eye(3))
+        with pytest.raises(ValueError):
+            F.spmm_pattern(pattern, Tensor(np.ones(5)), Tensor(np.ones((3, 2))))
+
     def test_propagate_accepts_dense_or_sparse(self):
         x = Tensor(np.ones((4, 2)))
         adj = np.eye(4)

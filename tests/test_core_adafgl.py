@@ -4,6 +4,7 @@ import dataclasses
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.core import (
     AdaFGL,
@@ -244,6 +245,33 @@ class TestAdaFGLTrainer:
                         1.0 / homophilous_graph.num_classes)
         client = PersonalizedClient(0, homophilous_graph, probs, config)
         assert client.hcs == 0.5
+
+    def test_sparse_engine_full_run(self, community_clients):
+        config = dataclasses.replace(FAST_CONFIG, sparse_propagation=True,
+                                     propagation_top_k=16)
+        method = AdaFGL(community_clients, config)
+        initial = method.evaluate("test")
+        method.run()
+        assert method.evaluate("test") > initial
+        for client in method.personalized:
+            assert sp.issparse(client.propagation)
+
+    def test_parallel_step2_matches_serial(self, community_clients):
+        """num_workers > 1 reproduces the serial history exactly."""
+        serial = AdaFGL(community_clients, FAST_CONFIG)
+        serial.run()
+        parallel_config = dataclasses.replace(FAST_CONFIG, num_workers=2)
+        parallel = AdaFGL(community_clients, parallel_config)
+        parallel.run()
+        assert parallel.history.rounds == serial.history.rounds
+        assert np.allclose(parallel.history.test_accuracy,
+                           serial.history.test_accuracy)
+        assert np.allclose(parallel.history.train_accuracy,
+                           serial.history.train_accuracy)
+        assert np.allclose(parallel.history.loss, serial.history.loss)
+        assert len(parallel.personalized) == len(community_clients)
+        assert parallel.evaluate("test") == pytest.approx(
+            serial.evaluate("test"))
 
     def test_no_local_topology_uses_normalised_adjacency(self, tiny_graph):
         config = dataclasses.replace(FAST_CONFIG, use_local_topology=False)

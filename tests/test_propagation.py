@@ -1,0 +1,259 @@
+"""Tests for the sparse-first propagation engine.
+
+Covers the top-k sparsified P̃ builder (dense/sparse equivalence and the
+small-k approximation), the :class:`PropagationCache` precompute/invalidation
+behaviour, and the sparse end-to-end client path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    AdaFGLConfig,
+    FederatedKnowledgeExtractor,
+    PropagationCache,
+    optimized_propagation_matrix,
+)
+from repro.core.adafgl import PersonalizedClient
+from repro.federated import FederatedConfig
+
+
+EXACT_CONFIG = AdaFGLConfig(rounds=2, local_epochs=1, hidden=16,
+                            personalized_epochs=6, k_prop=2,
+                            message_layers=1, dropout=0.0, seed=0)
+
+
+def _dirichlet_probs(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.dirichlet(np.ones(graph.num_classes), size=graph.num_nodes)
+
+
+class TestSparsePropagationMatrix:
+    def test_full_support_matches_dense(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        dense = optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                             alpha=0.6)
+        sparse = optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                              alpha=0.6, sparse=True)
+        assert sp.issparse(sparse)
+        assert np.allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_rows_sum_to_one(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph, seed=1)
+        matrix = optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                              alpha=0.5, sparse=True, top_k=8)
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+        assert np.all(matrix.data >= 0)
+
+    def test_top_k_bounds_row_nnz(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph, seed=2)
+        top_k = 5
+        matrix = optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                              alpha=0.5, sparse=True,
+                                              top_k=top_k)
+        degrees = np.asarray(
+            (tiny_graph.adjacency != 0).sum(axis=1)).ravel()
+        row_nnz = np.diff(matrix.indptr)
+        # Each row keeps at most its local neighbours (plus self-loop) and
+        # top_k similarity entries.
+        assert np.all(row_nnz <= degrees + top_k + 1)
+
+    def test_small_top_k_much_sparser_than_dense(self, homophilous_graph):
+        probs = _dirichlet_probs(homophilous_graph, seed=3)
+        full = optimized_propagation_matrix(homophilous_graph.adjacency,
+                                            probs, alpha=0.5, sparse=True)
+        small = optimized_propagation_matrix(homophilous_graph.adjacency,
+                                             probs, alpha=0.5, sparse=True,
+                                             top_k=4)
+        assert small.nnz < full.nnz / 4
+
+    def test_top_k_without_sparse_rejected(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        with pytest.raises(ValueError):
+            optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                         top_k=8)
+
+    def test_invalid_top_k_rejected(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        with pytest.raises(ValueError):
+            optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                         sparse=True, top_k=0)
+
+    def test_blockwise_sweep_matches_single_block(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph, seed=4)
+        one_block = optimized_propagation_matrix(
+            tiny_graph.adjacency, probs, alpha=0.5, sparse=True, top_k=6,
+            block_size=tiny_graph.num_nodes + 1)
+        many_blocks = optimized_propagation_matrix(
+            tiny_graph.adjacency, probs, alpha=0.5, sparse=True, top_k=6,
+            block_size=7)
+        assert np.allclose(one_block.toarray(), many_blocks.toarray())
+
+
+class TestPropagationCache:
+    def test_blocks_match_direct_products(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        prop = optimized_propagation_matrix(tiny_graph.adjacency, probs)
+        cache = PropagationCache(prop, tiny_graph.features)
+        blocks = cache.blocks(3)
+        expected = tiny_graph.features
+        for block in blocks:
+            expected = prop @ expected
+            assert np.allclose(block.data, expected)
+
+    def test_sparse_operator_matches_dense(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        dense = optimized_propagation_matrix(tiny_graph.adjacency, probs)
+        sparse = optimized_propagation_matrix(tiny_graph.adjacency, probs,
+                                              sparse=True)
+        dense_blocks = PropagationCache(dense, tiny_graph.features).blocks(2)
+        sparse_blocks = PropagationCache(sparse, tiny_graph.features).blocks(2)
+        for d, s in zip(dense_blocks, sparse_blocks):
+            assert np.allclose(d.data, s.data, atol=1e-10)
+
+    def test_concatenated_matches_blocks(self, tiny_graph):
+        prop = np.eye(tiny_graph.num_nodes)
+        cache = PropagationCache(prop, tiny_graph.features)
+        concat = cache.concatenated(2)
+        blocks = cache.blocks(2)
+        assert np.allclose(
+            concat.data, np.concatenate([b.data for b in blocks], axis=1))
+
+    def test_blocks_are_constants(self, tiny_graph):
+        cache = PropagationCache(np.eye(tiny_graph.num_nodes),
+                                 tiny_graph.features)
+        assert not cache.concatenated(2).requires_grad
+        assert all(not b.requires_grad for b in cache.blocks(2))
+
+    def test_incremental_extension_reuses_prefix(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        prop = optimized_propagation_matrix(tiny_graph.adjacency, probs)
+        cache = PropagationCache(prop, tiny_graph.features)
+        first = cache.blocks(1)[0].data
+        assert cache.num_cached_hops == 1
+        extended = cache.blocks(3)
+        assert cache.num_cached_hops == 3
+        assert extended[0].data is first
+
+    def test_invalidates_when_propagation_changes(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        prop = optimized_propagation_matrix(tiny_graph.adjacency, probs)
+        cache = PropagationCache(prop, tiny_graph.features)
+        before = cache.concatenated(2).data
+        cache.propagation = np.eye(tiny_graph.num_nodes)
+        assert cache.num_cached_hops == 0
+        after = cache.concatenated(2).data
+        assert not np.allclose(before, after)
+        # With the identity operator every block equals the raw features.
+        assert np.allclose(cache.blocks(2)[1].data, tiny_graph.features)
+
+    def test_shape_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            PropagationCache(np.eye(3), tiny_graph.features)
+        cache = PropagationCache(np.eye(tiny_graph.num_nodes),
+                                 tiny_graph.features)
+        with pytest.raises(ValueError):
+            cache.propagation = np.eye(3)
+        with pytest.raises(ValueError):
+            cache.blocks(0)
+
+
+class TestSparseClientEquivalence:
+    def test_full_support_predictions_identical(self, tiny_graph):
+        """top_k=None sparse P̃ reproduces the dense pipeline exactly."""
+        probs = _dirichlet_probs(tiny_graph)
+        sparse_config = dataclasses.replace(
+            EXACT_CONFIG, sparse_propagation=True, propagation_top_k=None)
+        dense_client = PersonalizedClient(0, tiny_graph, probs, EXACT_CONFIG)
+        sparse_client = PersonalizedClient(0, tiny_graph, probs,
+                                           sparse_config)
+        assert sp.issparse(sparse_client.propagation)
+        assert np.allclose(dense_client.predict(), sparse_client.predict(),
+                           atol=1e-9)
+        for _ in range(4):
+            dense_loss = dense_client.train_epoch()
+            sparse_loss = sparse_client.train_epoch()
+        assert dense_loss == pytest.approx(sparse_loss, abs=1e-8)
+        assert np.allclose(dense_client.predict(), sparse_client.predict(),
+                           atol=1e-8)
+
+    def test_small_top_k_accuracy_within_tolerance(self, homophilous_graph):
+        """top_k=32 stays close to the dense baseline after training."""
+        probs = _dirichlet_probs(homophilous_graph)
+        sparse_config = dataclasses.replace(
+            EXACT_CONFIG, sparse_propagation=True, propagation_top_k=32)
+        dense_client = PersonalizedClient(0, homophilous_graph, probs,
+                                          EXACT_CONFIG)
+        sparse_client = PersonalizedClient(0, homophilous_graph, probs,
+                                           sparse_config)
+        for _ in range(6):
+            dense_client.train_epoch()
+            sparse_client.train_epoch()
+        dense_acc = dense_client.evaluate("test")
+        sparse_acc = sparse_client.evaluate("test")
+        assert abs(dense_acc - sparse_acc) <= 0.1
+
+    def test_client_propagation_reassignment_syncs_cache(self, tiny_graph):
+        """Swapping a client's P̃ invalidates its precompute cache."""
+        probs = _dirichlet_probs(tiny_graph)
+        client = PersonalizedClient(0, tiny_graph, probs, EXACT_CONFIG)
+        before = client.predict()
+        assert client.prop_cache.num_cached_hops > 0
+        client.propagation = np.eye(tiny_graph.num_nodes)
+        assert client.prop_cache.num_cached_hops == 0
+        assert client.prop_cache.propagation is client.propagation
+        after = client.predict()
+        assert not np.allclose(before, after)
+
+    def test_cache_disabled_matches_cached(self, tiny_graph):
+        probs = _dirichlet_probs(tiny_graph)
+        uncached_config = dataclasses.replace(EXACT_CONFIG,
+                                              use_propagation_cache=False)
+        cached = PersonalizedClient(0, tiny_graph, probs, EXACT_CONFIG)
+        uncached = PersonalizedClient(0, tiny_graph, probs, uncached_config)
+        assert cached.prop_cache is not None
+        assert uncached.prop_cache is None
+        assert np.allclose(cached.predict(), uncached.predict(), atol=1e-10)
+        for _ in range(3):
+            cached_loss = cached.train_epoch()
+            uncached_loss = uncached.train_epoch()
+        assert cached_loss == pytest.approx(uncached_loss, abs=1e-9)
+
+
+class TestExtractorCaching:
+    def test_client_probabilities_cached(self, community_clients):
+        extractor = FederatedKnowledgeExtractor(
+            community_clients, hidden=16,
+            config=FederatedConfig(rounds=2, local_epochs=1, seed=0))
+        extractor.run()
+        first = extractor.client_probabilities()
+        second = extractor.client_probabilities()
+        assert all(a is b for a, b in zip(first, second))
+        refreshed = extractor.client_probabilities(refresh=True)
+        assert all(a is not b for a, b in zip(first, refreshed))
+        assert all(np.allclose(a, b) for a, b in zip(first, refreshed))
+
+    def test_cache_reset_after_rerun(self, community_clients):
+        extractor = FederatedKnowledgeExtractor(
+            community_clients, hidden=16,
+            config=FederatedConfig(rounds=1, local_epochs=1, seed=0))
+        extractor.run()
+        first = extractor.client_probabilities()
+        extractor.run()
+        second = extractor.client_probabilities()
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_optimized_matrices_sparse_option(self, community_clients):
+        extractor = FederatedKnowledgeExtractor(
+            community_clients, hidden=16,
+            config=FederatedConfig(rounds=1, local_epochs=1, seed=0))
+        extractor.run()
+        matrices = extractor.optimized_matrices(alpha=0.6, sparse=True,
+                                                top_k=8)
+        for matrix, graph in zip(matrices, extractor.client_graphs()):
+            assert sp.issparse(matrix)
+            assert matrix.shape == (graph.num_nodes, graph.num_nodes)
