@@ -1,23 +1,22 @@
-"""Timing benchmark harness for the sparse-first propagation engine.
+"""Timing benchmark harness for the federated perf engine.
 
-Measures, on cSBM graphs of growing size:
+Three suites (``--suite``), each writing a JSON artifact under
+``benchmarks/results/`` so the perf trajectory is tracked in-repo:
 
-* **Step-1 rounds/sec** — federated collaborative training throughput of the
-  knowledge extractor;
-* **Step-2 epochs/sec** — personalized training throughput of one client,
-  for the seed-equivalent *dense* path (dense P̃, no precompute cache) and
-  for the *sparse engine* (top-k CSR P̃ + :class:`PropagationCache`);
-* **peak P̃ memory** — tracemalloc peak during client construction plus the
-  exact byte size of the stored propagation matrix;
-* **accuracy parity** — transductive test accuracy of both paths after the
-  same number of epochs.
-
-Results are written to ``benchmarks/results/BENCH_step2.json`` so the perf
-trajectory is tracked in-repo from this PR onward.
+* ``step2`` (``BENCH_step2.json``) — dense vs sparse personalized training:
+  Step-2 epochs/sec, peak P̃ memory and accuracy parity on growing cSBM
+  graphs (PR 1);
+* ``step1`` (``BENCH_step1.json``) — Step-1 federated collaborative-training
+  rounds/sec for every execution backend (``serial`` / ``process_pool`` /
+  ``batched``) on a many-small-clients split, including speedups over serial
+  and a loss-parity check (PR 2);
+* ``topk`` (``BENCH_topk.json``) — accuracy-vs-k curve for
+  ``propagation_top_k``, against the dense reference, to pick per-dataset
+  defaults.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_perf.py --nodes 500,1000,2000
+    PYTHONPATH=src python benchmarks/bench_perf.py --suite all
 
 A small smoke version runs under pytest via ``test_bench_perf.py`` when the
 ``bench`` marker is enabled (``pytest --run-bench`` or ``REPRO_RUN_BENCH=1``);
@@ -30,7 +29,7 @@ import argparse
 import dataclasses
 import time
 import tracemalloc
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,6 +38,7 @@ from repro.core import AdaFGLConfig, FederatedKnowledgeExtractor
 from repro.core.adafgl import PersonalizedClient
 from repro.datasets import CSBMConfig, generate_csbm, make_split_masks
 from repro.federated import FederatedConfig
+from repro.fgl.fedgnn import FederatedGNN
 
 try:  # imported as benchmarks.bench_perf (pytest) or run as a script
     from benchmarks.bench_utils import record_json
@@ -49,10 +49,11 @@ NUM_FEATURES = 128
 NUM_CLASSES = 5
 
 
-def make_graph(num_nodes: int, seed: int = 0):
+def make_graph(num_nodes: int, seed: int = 0,
+               num_features: int = NUM_FEATURES):
     config = CSBMConfig(
         num_nodes=num_nodes, num_classes=NUM_CLASSES,
-        num_features=NUM_FEATURES, avg_degree=10.0, edge_homophily=0.6,
+        num_features=num_features, avg_degree=10.0, edge_homophily=0.6,
         feature_signal=1.0, blocks_per_class=2, seed=seed,
         name=f"bench-{num_nodes}")
     graph = generate_csbm(config)
@@ -156,28 +157,175 @@ def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
     return report
 
 
+def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
+                       rounds: int = 10, local_epochs: int = 5,
+                       hidden: int = 32, num_features: int = 32,
+                       num_workers: int = 2, seed: int = 0,
+                       output_name: str = "BENCH_step1") -> Dict:
+    """Step-1 rounds/sec for every execution backend on one client split.
+
+    Uses a many-small-clients split (the regime real cross-silo federations
+    live in, and where per-client Python overhead dominates) with the same
+    federated GCN the AdaFGL knowledge extractor trains.  Every backend must
+    reproduce the serial training history; ``loss_gap`` records the largest
+    per-round deviation as a parity check.
+    """
+    graphs = [make_graph(nodes_per_client, seed=seed + index,
+                         num_features=num_features)
+              for index in range(num_clients)]
+    backends = [("serial", 0), ("process_pool", num_workers), ("batched", 0)]
+
+    report: Dict = {
+        "config": {
+            "num_clients": num_clients, "nodes_per_client": nodes_per_client,
+            "rounds": rounds, "local_epochs": local_epochs, "hidden": hidden,
+            "num_features": num_features, "num_workers": num_workers,
+            "model": "gcn", "seed": seed,
+        },
+        "backends": {},
+    }
+    reference_loss: Optional[List[float]] = None
+    serial_rps: Optional[float] = None
+    for backend, workers in backends:
+        config = FederatedConfig(
+            rounds=rounds, local_epochs=local_epochs, seed=seed,
+            backend=backend, num_workers=workers, eval_every=rounds)
+        trainer = FederatedGNN(graphs, "gcn", hidden=hidden, config=config)
+        start = time.perf_counter()
+        history = trainer.run()
+        elapsed = time.perf_counter() - start
+        rounds_per_sec = rounds / elapsed
+        if reference_loss is None:
+            reference_loss = history.loss
+        if serial_rps is None:
+            serial_rps = rounds_per_sec
+        entry = {
+            "rounds_per_sec": round(rounds_per_sec, 3),
+            "sec_per_round": round(elapsed / rounds, 4),
+            "speedup_vs_serial": round(rounds_per_sec / serial_rps, 2),
+            "test_accuracy": round(trainer.evaluate("test"), 4),
+            "loss_gap": float(np.max(np.abs(
+                np.asarray(history.loss) - np.asarray(reference_loss)))),
+        }
+        report["backends"][backend] = entry
+        print(f"step1 {backend:12s} {rounds_per_sec:7.2f} rounds/s  "
+              f"({entry['speedup_vs_serial']:.2f}x serial)  "
+              f"acc {entry['test_accuracy']:.3f}  "
+              f"loss_gap {entry['loss_gap']:.2e}")
+
+    record_json(output_name, report)
+    return report
+
+
+def run_topk_curve(num_nodes: int = 1000,
+                   ks: Sequence[int] = (4, 8, 16, 32, 64),
+                   epochs: int = 10, step1_rounds: int = 5, seed: int = 0,
+                   output_name: str = "BENCH_topk") -> Dict:
+    """Accuracy-vs-k curve for ``propagation_top_k`` (dense as reference).
+
+    Reuses one Step-1 run per graph size, then trains a Step-2 client per
+    sparsity level, recording test accuracy, epoch time and P̃ memory so a
+    per-dataset default k can be read off the curve.
+    """
+    graph = make_graph(num_nodes, seed=seed)
+    _, probs = bench_step1(graph, step1_rounds, seed=seed)
+    base = AdaFGLConfig(hidden=64, seed=seed)
+
+    dense = bench_client(graph, probs, dataclasses.replace(
+        base, sparse_propagation=False, use_propagation_cache=False), epochs)
+    report: Dict = {
+        "config": {"num_nodes": num_nodes, "epochs": epochs,
+                   "step1_rounds": step1_rounds, "seed": seed,
+                   "k_prop": base.k_prop},
+        "dense": dense,
+        "curve": [],
+    }
+    print(f"topk  dense      acc {dense['test_accuracy']:.3f}  "
+          f"{dense['sec_per_epoch']:.3f}s/ep  {dense['matrix_mb']:.1f} MB")
+    for k in ks:
+        sparse = bench_client(graph, probs, dataclasses.replace(
+            base, sparse_propagation=True, propagation_top_k=int(k),
+            use_propagation_cache=True), epochs)
+        entry = {
+            "top_k": int(k),
+            **sparse,
+            "accuracy_gap_vs_dense": round(
+                dense["test_accuracy"] - sparse["test_accuracy"], 4),
+            "epoch_speedup_vs_dense": round(
+                dense["sec_per_epoch"] / sparse["sec_per_epoch"], 2),
+        }
+        report["curve"].append(entry)
+        print(f"topk  k={k:<8d} acc {sparse['test_accuracy']:.3f}  "
+              f"{sparse['sec_per_epoch']:.3f}s/ep  "
+              f"{sparse['matrix_mb']:.2f} MB  "
+              f"gap {entry['accuracy_gap_vs_dense']:+.4f}")
+
+    record_json(output_name, report)
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> Dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="step2",
+                        choices=["step2", "step1", "topk", "all"])
     parser.add_argument("--nodes", default="500,1000,2000",
-                        help="comma-separated cSBM sizes")
+                        help="comma-separated cSBM sizes (step2 suite)")
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--step1-rounds", type=int, default=5)
     parser.add_argument("--top-k", type=int, default=32)
+    parser.add_argument("--top-k-grid", default="4,8,16,32,64",
+                        help="comma-separated k values (topk suite)")
+    parser.add_argument("--clients", type=int, default=50,
+                        help="client count (step1 suite)")
+    parser.add_argument("--client-nodes", type=int, default=40,
+                        help="nodes per client (step1 suite)")
+    parser.add_argument("--rounds", type=int, default=10,
+                        help="federated rounds (step1 suite)")
+    parser.add_argument("--local-epochs", type=int, default=5,
+                        help="local epochs per round (step1 suite)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-pool width (step1 suite)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output-name", default="BENCH_step2")
+    parser.add_argument("--output-name", default=None,
+                        help="override the JSON artifact name")
     args = parser.parse_args(argv)
-    try:
-        sizes = [int(part) for part in args.nodes.split(",") if part]
-    except ValueError:
-        parser.error(f"--nodes expects comma-separated integers, "
-                     f"got {args.nodes!r}")
-    if not sizes:
-        parser.error("--nodes must name at least one size")
+
+    def parse_ints(text: str, flag: str) -> List[int]:
+        try:
+            values = [int(part) for part in text.split(",") if part]
+        except ValueError:
+            parser.error(f"{flag} expects comma-separated integers, "
+                         f"got {text!r}")
+        if not values:
+            parser.error(f"{flag} must name at least one value")
+        return values
+
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
-    return run_benchmark(sizes, epochs=args.epochs,
-                         step1_rounds=args.step1_rounds, top_k=args.top_k,
-                         seed=args.seed, output_name=args.output_name)
+
+    results: Dict = {}
+    if args.suite in ("step2", "all"):
+        sizes = parse_ints(args.nodes, "--nodes")
+        results["step2"] = run_benchmark(
+            sizes, epochs=args.epochs, step1_rounds=args.step1_rounds,
+            top_k=args.top_k, seed=args.seed,
+            output_name=(args.output_name if args.suite == "step2"
+                         and args.output_name else "BENCH_step2"))
+    if args.suite in ("step1", "all"):
+        results["step1"] = run_step1_backends(
+            num_clients=args.clients, nodes_per_client=args.client_nodes,
+            rounds=args.rounds, local_epochs=args.local_epochs,
+            num_workers=args.workers, seed=args.seed,
+            output_name=(args.output_name if args.suite == "step1"
+                         and args.output_name else "BENCH_step1"))
+    if args.suite in ("topk", "all"):
+        results["topk"] = run_topk_curve(
+            ks=parse_ints(args.top_k_grid, "--top-k-grid"),
+            epochs=args.epochs, step1_rounds=args.step1_rounds,
+            seed=args.seed,
+            output_name=(args.output_name if args.suite == "topk"
+                         and args.output_name else "BENCH_topk"))
+    return results if args.suite == "all" else results[args.suite]
 
 
 if __name__ == "__main__":

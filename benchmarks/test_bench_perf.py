@@ -20,3 +20,29 @@ def test_perf_harness_smoke():
         assert entry["epoch_speedup"] > 0
         assert entry["dense"]["matrix_mb"] >= entry["sparse"]["matrix_mb"]
         assert 0.0 <= entry["sparse"]["test_accuracy"] <= 1.0
+
+
+@pytest.mark.bench
+def test_step1_backend_harness_smoke():
+    from benchmarks.bench_perf import run_step1_backends
+
+    report = run_step1_backends(num_clients=6, nodes_per_client=40,
+                                rounds=2, local_epochs=2, num_workers=2,
+                                output_name="BENCH_step1_smoke")
+    assert set(report["backends"]) == {"serial", "process_pool", "batched"}
+    for entry in report["backends"].values():
+        assert entry["rounds_per_sec"] > 0
+        # Every backend reproduces the serial training history.
+        assert entry["loss_gap"] < 1e-9
+
+
+@pytest.mark.bench
+def test_topk_curve_harness_smoke():
+    from benchmarks.bench_perf import run_topk_curve
+
+    report = run_topk_curve(num_nodes=200, ks=(4, 16), epochs=3,
+                            step1_rounds=2, output_name="BENCH_topk_smoke")
+    assert len(report["curve"]) == 2
+    for entry in report["curve"]:
+        assert 0.0 <= entry["test_accuracy"] <= 1.0
+        assert entry["matrix_mb"] <= report["dense"]["matrix_mb"]

@@ -27,11 +27,14 @@ def as_tensor(value: ArrayOrTensor, requires_grad: bool = False) -> Tensor:
 # ----------------------------------------------------------------------
 # Sparse propagation
 # ----------------------------------------------------------------------
-def spmm(adjacency: sp.spmatrix, dense: Tensor) -> Tensor:
+def spmm(adjacency: sp.spmatrix, dense: Tensor,
+         adjacency_t: Optional[sp.spmatrix] = None) -> Tensor:
     """Multiply a constant sparse matrix by a dense tensor: ``A @ X``.
 
     The sparse operand is treated as a constant (no gradient flows into the
-    adjacency), matching how propagation matrices are used in GNNs.
+    adjacency), matching how propagation matrices are used in GNNs.  Callers
+    on a hot path may pass ``adjacency_t`` (a precomputed ``A.T`` in CSR
+    form) so the backward pass skips the per-call transpose.
     """
     if not sp.issparse(adjacency):
         raise TypeError("spmm expects a scipy sparse matrix as first operand")
@@ -39,7 +42,8 @@ def spmm(adjacency: sp.spmatrix, dense: Tensor) -> Tensor:
     out_data = adjacency @ dense.data
 
     def backward(grad):
-        dense._accumulate(adjacency.T @ grad)
+        transpose = adjacency.T if adjacency_t is None else adjacency_t
+        dense._accumulate(transpose @ grad)
 
     return Tensor._make(out_data, (dense,), backward)
 
@@ -49,6 +53,29 @@ def propagate(adjacency: Union[sp.spmatrix, np.ndarray], features: Tensor) -> Te
     if sp.issparse(adjacency):
         return spmm(adjacency, features)
     return as_tensor(adjacency).matmul(features)
+
+
+def spmm_batched(adjacency: sp.spmatrix, dense: Tensor,
+                 adjacency_t: Optional[sp.spmatrix] = None) -> Tensor:
+    """``A @ X`` for a stacked dense tensor ``X`` of shape ``(B, n, f)``.
+
+    ``adjacency`` is the ``(B·n, B·n)`` block-diagonal operator whose ``i``-th
+    block acts on batch entry ``i`` (rows of absent nodes are all-zero).  The
+    stacked tensor is routed through the 2-D :func:`spmm` kernel via
+    differentiable reshapes, so one sparse product propagates every batch
+    entry — the propagation step of the batched execution backend.
+    """
+    if dense.ndim != 3:
+        raise ValueError(
+            f"spmm_batched expects a (B, n, f) tensor, got shape {dense.shape}")
+    batch, nodes, channels = dense.shape
+    if adjacency.shape[0] != batch * nodes:
+        raise ValueError(
+            f"block-diagonal operator has {adjacency.shape[0]} rows, "
+            f"expected {batch * nodes}")
+    flat = dense.reshape(batch * nodes, channels)
+    return spmm(adjacency, flat,
+                adjacency_t=adjacency_t).reshape(batch, nodes, channels)
 
 
 def sddmm(rows: np.ndarray, cols: np.ndarray, a: Tensor, b: Tensor) -> Tensor:

@@ -277,14 +277,22 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product; supports stacked (batched) operands of ndim > 2.
+
+        Gradients transpose only the last two axes and are reduced over
+        broadcast batch axes, so ``(B, n, f) @ (B, f, h)`` and the mixed
+        ``(B, n, f) @ (f, h)`` both differentiate correctly.
+        """
         other = self._coerce(other)
         out_data = self.data @ other.data
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                self._accumulate(_unbroadcast(
+                    grad @ np.swapaxes(other.data, -1, -2), self.data.shape))
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                other._accumulate(_unbroadcast(
+                    np.swapaxes(self.data, -1, -2) @ grad, other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 

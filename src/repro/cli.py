@@ -24,6 +24,7 @@ from repro.experiments import (
     run_method,
 )
 from repro.experiments.runner import available_methods
+from repro.federated import list_aggregations, list_backends
 from repro.graph import edge_homophily
 
 
@@ -35,6 +36,12 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.rounds = args.rounds
     if args.epochs is not None:
         settings.local_epochs = args.epochs
+    if getattr(args, "backend", None) is not None:
+        settings.backend = args.backend
+    if getattr(args, "aggregation", None) is not None:
+        settings.aggregation = args.aggregation
+    if getattr(args, "workers", None) is not None:
+        settings.num_workers = args.workers
     return settings
 
 
@@ -50,6 +57,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=None,
                         help="override the generated dataset size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default=None, choices=list_backends(),
+                        help="execution backend for federated local training")
+    parser.add_argument("--aggregation", default=None,
+                        choices=list_aggregations(),
+                        help="server aggregation strategy (methods with a "
+                             "built-in strategy, e.g. fed-pub, keep theirs)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (backend=process_pool and "
+                             "AdaFGL Step-2)")
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:

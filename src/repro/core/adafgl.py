@@ -62,11 +62,21 @@ class AdaFGLConfig:
     # form with only the ``propagation_top_k`` strongest similarity entries
     # per row (Eq. 5); ``use_propagation_cache`` precomputes the constant
     # k-hop feature blocks once per client; ``num_workers > 1`` trains the
-    # (embarrassingly parallel) Step-2 clients in a process pool.
+    # (embarrassingly parallel) Step-2 clients in a process pool — and, via
+    # the federation engine, also parallelises Step-1 local epochs unless
+    # ``step1_backend`` pins a specific execution backend.
     sparse_propagation: bool = False
     propagation_top_k: Optional[int] = 32
     use_propagation_cache: bool = True
     num_workers: int = 0
+
+    # Federation-engine knobs for Step 1 (see repro.federated.engine):
+    # ``step1_backend`` is an execution-backend name ("serial" /
+    # "process_pool" / "batched"); None auto-selects "process_pool" when
+    # ``num_workers > 1``.  ``step1_aggregation`` names the server-side
+    # aggregation strategy ("fedavg" / "topology_weighted" / "trimmed_mean").
+    step1_backend: Optional[str] = None
+    step1_aggregation: str = "fedavg"
 
     # HCS / label propagation.
     lp_steps: int = 5
@@ -83,10 +93,14 @@ class AdaFGLConfig:
     seed: int = 0
 
     def federated_config(self) -> FederatedConfig:
+        backend = self.step1_backend
+        if backend is None:
+            backend = "process_pool" if self.num_workers > 1 else "serial"
         return FederatedConfig(
             rounds=self.rounds, local_epochs=self.local_epochs, lr=self.lr,
             weight_decay=self.weight_decay, participation=self.participation,
-            seed=self.seed)
+            seed=self.seed, backend=backend, num_workers=self.num_workers,
+            aggregation=self.step1_aggregation)
 
 
 class PersonalizedClient:

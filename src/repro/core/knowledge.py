@@ -210,6 +210,11 @@ class FederatedKnowledgeExtractor:
         recomputation (e.g. after manually mutating the global state).
         """
         if refresh or self._probabilities is None:
+            if refresh:
+                # Punch through the per-client prediction cache too, so
+                # out-of-band weight mutations are picked up.
+                for client in self.trainer.clients:
+                    client.invalidate_cache()
             self._probabilities = [client.predict()
                                    for client in self.trainer.clients]
         return self._probabilities

@@ -30,7 +30,13 @@ def _env_int(name: str, default: int) -> int:
 
 @dataclass
 class ExperimentSettings:
-    """Scale knobs shared by every experiment."""
+    """Scale knobs shared by every experiment.
+
+    ``backend`` / ``aggregation`` / ``num_workers`` select the federation
+    engine plug-ins (see :mod:`repro.federated.engine`) for Step-1 training
+    and every FGL baseline; they are forwarded into both
+    :meth:`federated_config` and :meth:`adafgl_config`.
+    """
 
     num_clients: int = field(default_factory=lambda: _env_int("REPRO_CLIENTS", 5))
     rounds: int = field(default_factory=lambda: _env_int("REPRO_ROUNDS", 20))
@@ -41,20 +47,43 @@ class ExperimentSettings:
     lr: float = 0.01
     participation: float = 1.0
     seed: int = 0
+    #: execution backend name; None = auto (serial, or a process pool for
+    #: Step-1 when ``num_workers > 1``).  An explicit "serial" pins serial.
+    backend: Optional[str] = None
+    aggregation: str = "fedavg"
+    num_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_WORKERS", 0))
 
     def federated_config(self) -> FederatedConfig:
+        backend = self.backend
+        if backend is None:
+            backend = "process_pool" if self.num_workers > 1 else "serial"
         return FederatedConfig(rounds=self.rounds,
                                local_epochs=self.local_epochs, lr=self.lr,
                                participation=self.participation,
-                               seed=self.seed)
+                               seed=self.seed, backend=backend,
+                               aggregation=self.aggregation,
+                               num_workers=self.num_workers)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
+        # ``sparse_propagation=True`` is the experiment-runner default since
+        # the dense-vs-sparse parity gate landed (``top_k=None`` sparse is
+        # numerically identical to dense; the default top-k is an accuracy-
+        # preserving approximation tracked by benchmarks/bench_perf.py).
         config = AdaFGLConfig(rounds=self.rounds,
                               local_epochs=self.local_epochs, lr=self.lr,
                               hidden=self.hidden,
                               personalized_epochs=self.personalized_epochs,
                               participation=self.participation,
-                              seed=self.seed)
+                              seed=self.seed,
+                              sparse_propagation=True,
+                              # None (the unset default) keeps the engine's
+                              # auto-promotion to a process pool when
+                              # num_workers > 1; an explicit name (including
+                              # "serial") is forwarded verbatim.
+                              step1_backend=self.backend,
+                              step1_aggregation=self.aggregation,
+                              num_workers=self.num_workers)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

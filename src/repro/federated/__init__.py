@@ -1,7 +1,19 @@
-"""Federated learning framework: clients, server, FedAvg trainer."""
+"""Federated learning framework: clients, server, engine, trainer."""
 
 from repro.federated.client import Client
 from repro.federated.server import Server, fedavg_aggregate
+from repro.federated.engine import (
+    AggregationContext,
+    AggregationStrategy,
+    BatchedBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    list_aggregations,
+    list_backends,
+    make_aggregation,
+    make_backend,
+)
 from repro.federated.trainer import FederatedTrainer, FederatedConfig
 from repro.federated.communication import CommunicationTracker
 
@@ -12,4 +24,14 @@ __all__ = [
     "FederatedTrainer",
     "FederatedConfig",
     "CommunicationTracker",
+    "AggregationContext",
+    "AggregationStrategy",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BatchedBackend",
+    "list_aggregations",
+    "list_backends",
+    "make_aggregation",
+    "make_backend",
 ]

@@ -47,6 +47,19 @@ class Client:
         self.optimizer = Adam(model.parameters(), lr=lr,
                               weight_decay=weight_decay)
         self._features = Tensor(graph.features)
+        # Probability cache: predict() is deterministic given the weights, so
+        # one eval tick (global train/test accuracy + per-client breakdown)
+        # costs a single forward pass.  ``_weights_version`` is bumped by
+        # anything that mutates the model through the client API.
+        self._weights_version = 0
+        self._prob_cache: Optional[tuple] = None
+
+    def __getstate__(self):
+        # Never ship the prediction cache across process boundaries (the
+        # process-pool backend pickles whole clients).
+        state = self.__dict__.copy()
+        state["_prob_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Weights exchange
@@ -61,6 +74,7 @@ class Client:
 
     def set_weights(self, state: Dict[str, np.ndarray]) -> None:
         self.model.load_state_dict(state)
+        self._weights_version += 1
 
     # ------------------------------------------------------------------
     # Local training / inference
@@ -87,15 +101,26 @@ class Client:
             clip_grad_norm(self.model.parameters(), 5.0)
             self.optimizer.step()
             losses.append(loss.item())
+        if epochs:
+            self._weights_version += 1
         return float(np.mean(losses)) if losses else 0.0
 
     def predict(self) -> np.ndarray:
-        """Class-probability predictions for every local node."""
+        """Class-probability predictions for every local node.
+
+        Deterministic given the current weights (eval mode, no dropout), so
+        the result is cached until :meth:`set_weights` / :meth:`local_train`
+        mutate the model; callers must treat the array as read-only.
+        """
+        if self._prob_cache is not None \
+                and self._prob_cache[0] == self._weights_version:
+            return self._prob_cache[1]
         self.model.eval()
         with no_grad():
             logits = self.forward()
             probs = F.softmax(logits, axis=-1).numpy()
         self.model.train()
+        self._prob_cache = (self._weights_version, probs)
         return probs
 
     def evaluate(self, split: str = "test") -> float:
@@ -105,6 +130,11 @@ class Client:
             return 0.0
         probs = self.predict()
         return masked_accuracy(probs, self.graph.labels, mask)
+
+    def invalidate_cache(self) -> None:
+        """Drop cached predictions (after out-of-band weight mutation)."""
+        self._prob_cache = None
+        self._weights_version += 1
 
     def reset_optimizer(self) -> None:
         """Re-create optimizer state (after receiving fresh global weights)."""

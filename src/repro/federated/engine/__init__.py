@@ -1,0 +1,64 @@
+"""The unified federation engine: execution backends × aggregation strategies.
+
+Two orthogonal plug-in axes shared by Step-1 collaborative training, the
+five FGL baselines and AdaFGL:
+
+* **Execution backends** (:mod:`~repro.federated.engine.backends`) decide
+  *how* the selected participants run their local epochs each round —
+  serially, in a process pool, or fused into one batched autograd graph
+  (:mod:`~repro.federated.engine.batched`).  All backends reconstruct the
+  serial training state (weights, optimizer moments, RNG streams) exactly.
+* **Aggregation strategies** (:mod:`~repro.federated.engine.aggregation`)
+  decide *what* the server does with the uploaded states — FedAvg,
+  topology-aware weighting à la FedGTA, robust trimmed-mean, or the
+  personalized schemes the FED-PUB / GCFL+ baselines declare.
+
+Select both through :class:`~repro.federated.FederatedConfig`
+(``backend=``/``aggregation=``) or the CLI (``--backend``/``--aggregation``).
+"""
+
+from repro.federated.engine.aggregation import (
+    AGGREGATION_REGISTRY,
+    AggregationContext,
+    AggregationStrategy,
+    FedAvgAggregation,
+    TopologyWeightedAggregation,
+    TrimmedMeanAggregation,
+    list_aggregations,
+    make_aggregation,
+    register_aggregation,
+)
+from repro.federated.engine.backends import (
+    BACKEND_REGISTRY,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    list_backends,
+    make_backend,
+    register_backend,
+    restore_client_state,
+    snapshot_client_state,
+)
+from repro.federated.engine.batched import BatchedBackend
+
+__all__ = [
+    "AGGREGATION_REGISTRY",
+    "AggregationContext",
+    "AggregationStrategy",
+    "FedAvgAggregation",
+    "TopologyWeightedAggregation",
+    "TrimmedMeanAggregation",
+    "list_aggregations",
+    "make_aggregation",
+    "register_aggregation",
+    "BACKEND_REGISTRY",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BatchedBackend",
+    "list_backends",
+    "make_backend",
+    "register_backend",
+    "snapshot_client_state",
+    "restore_client_state",
+]

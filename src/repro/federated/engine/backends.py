@@ -1,0 +1,184 @@
+"""Execution backends: how local client epochs are driven each round.
+
+The federated training loop is backend-agnostic: every round the trainer
+hands the selected participants to an :class:`ExecutionBackend`, which runs
+their local epochs and returns one mean training loss per participant.  All
+backends leave each client's model weights, optimizer moments and dropout RNG
+in exactly the state serial execution would produce, so aggregation, history
+and evaluation are backend-independent (equivalence-tested in
+``tests/test_engine.py``).
+
+Built-ins:
+
+* :class:`SerialBackend` — the reference ``for client in participants`` loop;
+* :class:`ProcessPoolBackend` — ships each (picklable) client to a worker
+  process, trains it there and restores the updated weights / optimizer /
+  RNG state into the in-process client.  This generalises the Step-2-only
+  pool of ``core/adafgl.py`` to Step-1 federated training and the FGL
+  baselines;
+* :class:`~repro.federated.engine.batched.BatchedBackend` — stacks
+  homogeneous-architecture clients into one batched autograd graph
+  (registered lazily to avoid import cycles).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Client state snapshots (used to round-trip training through a worker)
+# ----------------------------------------------------------------------
+def _iter_submodules(module):
+    yield module
+    for child in module._modules.values():
+        yield from _iter_submodules(child)
+
+
+def _module_rngs(model) -> List[np.random.Generator]:
+    """Every per-module RNG (dropout streams, ...) in deterministic order."""
+    rngs = []
+    for submodule in _iter_submodules(model):
+        rng = getattr(submodule, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            rngs.append(rng)
+    return rngs
+
+
+def snapshot_client_state(client) -> Dict:
+    """Everything local training mutates: weights, optimizer, RNG streams."""
+    optimizer_state = {
+        key: copy.deepcopy(value)
+        for key, value in client.optimizer.__dict__.items()
+        if key != "parameters"
+    }
+    return {
+        "weights": client.get_weights(),
+        "optimizer": optimizer_state,
+        "rng_states": [rng.bit_generator.state
+                       for rng in _module_rngs(client.model)],
+    }
+
+
+def restore_client_state(client, snapshot: Dict) -> None:
+    """Apply a :func:`snapshot_client_state` payload to an in-process client."""
+    client.set_weights(snapshot["weights"])
+    client.optimizer.__dict__.update(snapshot["optimizer"])
+    for rng, state in zip(_module_rngs(client.model), snapshot["rng_states"]):
+        rng.bit_generator.state = state
+
+
+def _train_client_in_worker(client) -> Tuple[float, Dict]:
+    """Worker entry point: run one client's local epochs, ship state back."""
+    loss = client.local_train()
+    return loss, snapshot_client_state(client)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """Drives the local-training phase of each federated round."""
+
+    name = "base"
+
+    def bind(self, trainer) -> None:
+        """Attach to the owning trainer (called once, before any round)."""
+        self.trainer = trainer
+
+    def run_local_training(self, participants: Sequence) -> List[float]:
+        """Train every participant locally; return per-participant losses."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, cached plans)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference implementation: clients train one after another."""
+
+    name = "serial"
+
+    def run_local_training(self, participants):
+        return [client.local_train() for client in participants]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Per-client local training in a pool of worker processes.
+
+    Clients are embarrassingly parallel within a round — their RNG streams
+    and optimizer moments are private — so each picklable client is trained
+    in a worker and its mutated state (weights, optimizer moments, dropout
+    RNGs) is restored into the in-process object, reconstructing the serial
+    result exactly.  Clients carrying a non-picklable ``extra_loss`` closure
+    (e.g. FedGL's pseudo-label term) fall back to in-process training.
+    """
+
+    name = "process_pool"
+
+    def __init__(self, num_workers: Optional[int] = None):
+        self.num_workers = num_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self.num_workers or os.cpu_count() or 1
+            self._pool = ProcessPoolExecutor(max_workers=max(1, workers))
+        return self._pool
+
+    def run_local_training(self, participants):
+        poolable = [c for c in participants if c.extra_loss is None]
+        losses: Dict[int, float] = {}
+        if len(poolable) > 1:
+            results = self._ensure_pool().map(_train_client_in_worker,
+                                              poolable)
+            for client, (loss, snapshot) in zip(poolable, results):
+                restore_client_state(client, snapshot)
+                losses[client.client_id] = loss
+        for client in participants:
+            if client.client_id not in losses:
+                losses[client.client_id] = client.local_train()
+        return [losses[client.client_id] for client in participants]
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+#: name → factory accepting ``num_workers`` for every built-in backend.
+BACKEND_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {
+    SerialBackend.name: lambda num_workers=None: SerialBackend(),
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def register_backend(name: str,
+                     factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a custom backend factory under ``name``."""
+    BACKEND_REGISTRY[name.lower()] = factory
+
+
+def list_backends() -> List[str]:
+    """Names of every registered execution backend."""
+    return sorted(BACKEND_REGISTRY)
+
+
+def make_backend(spec: Union[str, ExecutionBackend, None],
+                 num_workers: Optional[int] = None) -> ExecutionBackend:
+    """Resolve a backend from a registry name or pass an instance through."""
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    key = str(spec).lower()
+    if key not in BACKEND_REGISTRY:
+        raise KeyError(
+            f"unknown execution backend '{spec}'; "
+            f"available: {', '.join(list_backends())}")
+    return BACKEND_REGISTRY[key](num_workers=num_workers)

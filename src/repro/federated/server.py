@@ -37,18 +37,28 @@ def fedavg_aggregate(states: Sequence[Dict[str, np.ndarray]],
 
 
 class Server:
-    """Central coordinator holding the current global model state."""
+    """Central coordinator holding the current global model state.
+
+    How states are *combined* is decided by an
+    :class:`~repro.federated.engine.AggregationStrategy`; the server itself
+    only stores the result (:meth:`commit`).  :meth:`aggregate` remains as
+    the FedAvg convenience used by standalone code and tests.
+    """
 
     def __init__(self):
         self.global_state: Optional[Dict[str, np.ndarray]] = None
         self.round = 0
 
-    def aggregate(self, states: List[Dict[str, np.ndarray]],
-                  weights: Optional[List[float]] = None) -> Dict[str, np.ndarray]:
-        """Aggregate uploaded client states into a new global state."""
-        self.global_state = fedavg_aggregate(states, weights)
+    def commit(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Store an already-aggregated global state and advance the round."""
+        self.global_state = state
         self.round += 1
         return self.global_state
+
+    def aggregate(self, states: List[Dict[str, np.ndarray]],
+                  weights: Optional[List[float]] = None) -> Dict[str, np.ndarray]:
+        """FedAvg-aggregate uploaded client states into a new global state."""
+        return self.commit(fedavg_aggregate(states, weights))
 
     def broadcast(self) -> Dict[str, np.ndarray]:
         """Return a copy of the global state to send to a client."""

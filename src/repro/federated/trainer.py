@@ -1,13 +1,21 @@
-"""Generic federated training loop (FedAvg) with hooks for FGL baselines.
+"""Generic federated training loop with pluggable execution and aggregation.
 
 The trainer owns a list of :class:`~repro.federated.client.Client` objects and
-a :class:`~repro.federated.server.Server`.  Subclasses customise behaviour by
-overriding:
+a :class:`~repro.federated.server.Server`, and composes two engine plug-ins
+(:mod:`repro.federated.engine`):
 
-* :meth:`aggregate` — how uploaded states are combined (e.g. clustered or
-  similarity-weighted aggregation);
-* :meth:`personalize` — what each client receives back (FedAvg broadcasts the
-  same state to everyone; personalized methods may differ per client);
+* an :class:`~repro.federated.engine.ExecutionBackend` that runs the local
+  epochs of every selected participant (``serial`` / ``process_pool`` /
+  ``batched``, selected via :attr:`FederatedConfig.backend`);
+* an :class:`~repro.federated.engine.AggregationStrategy` that combines the
+  uploaded states and decides what each client receives back (``fedavg`` /
+  ``topology_weighted`` / ``trimmed_mean`` / method-specific, selected via
+  :attr:`FederatedConfig.aggregation`).
+
+Subclasses customise behaviour by declaring a strategy (FED-PUB and GCFL+
+are single strategy declarations now) or overriding the hooks:
+
+* :meth:`aggregate` / :meth:`personalize` — thin delegations to the strategy;
 * :meth:`before_round` / :meth:`after_round` — cross-client interactions
   (pseudo-label sharing, neighbour generation, ...).
 """
@@ -15,13 +23,20 @@ overriding:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.federated.client import Client
 from repro.federated.communication import CommunicationTracker
-from repro.federated.server import Server, fedavg_aggregate
+from repro.federated.engine import (
+    AggregationContext,
+    AggregationStrategy,
+    ExecutionBackend,
+    make_aggregation,
+    make_backend,
+)
+from repro.federated.server import Server
 from repro.graph import Graph
 from repro.metrics import TrainingHistory
 from repro.nn import Module
@@ -29,7 +44,13 @@ from repro.nn import Module
 
 @dataclass
 class FederatedConfig:
-    """Hyperparameters of federated collaborative training."""
+    """Hyperparameters of federated collaborative training.
+
+    ``backend`` selects the execution backend for local training (``serial``,
+    ``process_pool`` — sized by ``num_workers`` — or ``batched``) and
+    ``aggregation`` the server-side combination strategy; both accept either
+    a registry name or a ready-made instance.
+    """
 
     rounds: int = 20
     local_epochs: int = 3
@@ -38,10 +59,13 @@ class FederatedConfig:
     participation: float = 1.0
     seed: int = 0
     eval_every: int = 1
+    backend: Union[str, ExecutionBackend] = "serial"
+    num_workers: int = 0
+    aggregation: Union[str, AggregationStrategy] = "fedavg"
 
 
 class FederatedTrainer:
-    """Standard FedAvg collaborative training over client subgraphs."""
+    """Standard federated collaborative training over client subgraphs."""
 
     #: label used in communication accounting and Table VIII
     name = "FedAvg"
@@ -68,6 +92,14 @@ class FederatedTrainer:
         initial = self.clients[0].get_weights()
         for client in self.clients[1:]:
             client.set_weights(initial)
+        # Engine plug-ins.  Subclasses may replace ``strategy`` after
+        # ``super().__init__`` to declare a method-specific aggregation.
+        self.strategy: AggregationStrategy = make_aggregation(
+            self.config.aggregation)
+        self.backend: ExecutionBackend = make_backend(
+            self.config.backend, num_workers=self.config.num_workers)
+        self.backend.bind(self)
+        self._context: Optional[AggregationContext] = None
 
     # ------------------------------------------------------------------
     # Hooks
@@ -83,14 +115,16 @@ class FederatedTrainer:
     def aggregate(self, states: List[Dict[str, np.ndarray]],
                   weights: List[float],
                   participants: List[Client]) -> Dict[str, np.ndarray]:
-        """Combine uploaded client states (default: FedAvg)."""
-        return self.server.aggregate(states, weights)
+        """Combine uploaded client states (delegates to the strategy)."""
+        global_state = self.strategy.aggregate(states, weights, self._context)
+        self.server.commit(global_state)
+        return global_state
 
     def personalize(self, client: Client,
                     global_state: Dict[str, np.ndarray]
                     ) -> Dict[str, np.ndarray]:
-        """Return the state this client should load (default: the global one)."""
-        return global_state
+        """Return the state this client should load (strategy-decided)."""
+        return self.strategy.personalize(client, global_state, self._context)
 
     # ------------------------------------------------------------------
     # Training loop
@@ -105,39 +139,46 @@ class FederatedTrainer:
     def run(self, rounds: Optional[int] = None) -> TrainingHistory:
         """Execute federated collaborative training and return the history."""
         rounds = rounds if rounds is not None else self.config.rounds
-        for round_index in range(1, rounds + 1):
-            participants = self._select_participants()
-            self.before_round(round_index, participants)
+        try:
+            for round_index in range(1, rounds + 1):
+                participants = self._select_participants()
+                self._context = AggregationContext(
+                    round_index=round_index, participants=participants,
+                    trainer=self)
+                self.before_round(round_index, participants)
 
-            states, weights, losses = [], [], []
-            for client in participants:
-                loss = client.local_train()
-                state = client.get_weights()
-                states.append(state)
-                weights.append(client.num_samples)
-                losses.append(loss)
-                self.tracker.record_upload(
-                    "model_parameters", sum(v.size for v in state.values()))
+                losses = self.backend.run_local_training(participants)
 
-            global_state = self.aggregate(states, weights, participants)
+                states, weights = [], []
+                for client in participants:
+                    state = client.get_weights()
+                    states.append(state)
+                    weights.append(client.num_samples)
+                    self.tracker.record_upload(
+                        "model_parameters", sum(v.size for v in state.values()))
 
-            for client in self.clients:
-                personalized = self.personalize(client, global_state)
-                client.set_weights(personalized)
-                self.tracker.record_download(
-                    "model_parameters",
-                    sum(v.size for v in personalized.values()))
-            self.tracker.next_round()
+                global_state = self.aggregate(states, weights, participants)
 
-            self.after_round(round_index, participants)
+                for client in self.clients:
+                    personalized = self.personalize(client, global_state)
+                    client.set_weights(personalized)
+                    self.tracker.record_download(
+                        "model_parameters",
+                        sum(v.size for v in personalized.values()))
+                self.tracker.next_round()
 
-            if round_index % self.config.eval_every == 0 or round_index == rounds:
-                train_acc = self.evaluate("train")
-                test_acc = self.evaluate("test")
-                per_client = {c.client_id: c.evaluate("test")
-                              for c in self.clients}
-                self.history.record(round_index, train_acc, test_acc,
-                                    float(np.mean(losses)), per_client)
+                self.after_round(round_index, participants)
+
+                if round_index % self.config.eval_every == 0 \
+                        or round_index == rounds:
+                    train_acc = self.evaluate("train")
+                    test_acc = self.evaluate("test")
+                    per_client = {c.client_id: c.evaluate("test")
+                                  for c in self.clients}
+                    self.history.record(round_index, train_acc, test_acc,
+                                        float(np.mean(losses)), per_client)
+        finally:
+            self.backend.close()
         return self.history
 
     # ------------------------------------------------------------------

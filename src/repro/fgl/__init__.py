@@ -7,9 +7,9 @@
 
 from repro.fgl.fedgnn import FederatedGNN, make_model_factory
 from repro.fgl.fedgl import FedGL
-from repro.fgl.gcfl import GCFLPlus
+from repro.fgl.gcfl import GCFLPlus, GCFLAggregation
 from repro.fgl.fedsage import FedSagePlus
-from repro.fgl.fedpub import FedPub
+from repro.fgl.fedpub import FedPub, FedPubAggregation
 from repro.fgl.registry import BASELINE_REGISTRY, build_baseline, list_baselines
 
 __all__ = [
@@ -17,8 +17,10 @@ __all__ = [
     "make_model_factory",
     "FedGL",
     "GCFLPlus",
+    "GCFLAggregation",
     "FedSagePlus",
     "FedPub",
+    "FedPubAggregation",
     "BASELINE_REGISTRY",
     "build_baseline",
     "list_baselines",

@@ -6,16 +6,21 @@ random-graph functional embeddings) and sends every client a *personalized*
 similarity-weighted average of the uploaded models.  Each client additionally
 learns a sparse mask that interpolates between the personalized aggregate and
 its own previous local weights.
+
+The whole method is expressed as one
+:class:`~repro.federated.engine.AggregationStrategy`
+(:class:`FedPubAggregation`); the trainer subclass only declares it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.federated import FederatedConfig, FederatedTrainer, fedavg_aggregate
 from repro.federated.client import Client
+from repro.federated.engine import AggregationStrategy
 from repro.fgl.fedgnn import make_model_factory
 from repro.graph import Graph
 
@@ -24,28 +29,23 @@ def _flatten(state: Dict[str, np.ndarray]) -> np.ndarray:
     return np.concatenate([state[key].ravel() for key in sorted(state)])
 
 
-class FedPub(FederatedTrainer):
+class FedPubAggregation(AggregationStrategy):
     """Similarity-weighted personalized aggregation with local masking."""
 
-    name = "FED-PUB"
+    name = "fed-pub"
 
-    def __init__(self, subgraphs: Sequence[Graph], model_name: str = "gcn",
-                 hidden: int = 64, temperature: float = 5.0,
-                 local_mix: float = 0.25,
-                 config: Optional[FederatedConfig] = None):
-        factory = make_model_factory(model_name, hidden=hidden,
-                                     seed=(config.seed if config else 0))
-        super().__init__(subgraphs, factory, config)
+    def __init__(self, temperature: float = 5.0, local_mix: float = 0.25):
         self.temperature = temperature
         self.local_mix = local_mix
         self._personalized: Dict[int, Dict[str, np.ndarray]] = {}
         self._local_states: Dict[int, Dict[str, np.ndarray]] = {}
 
-    def aggregate(self, states, weights, participants):
+    def aggregate(self, states, weights, context=None):
         """Compute one personalized aggregate per participating client."""
+        participants = context.participants if context else []
         vectors = [_flatten(state) for state in states]
         norms = [np.linalg.norm(v) + 1e-12 for v in vectors]
-        global_state = self.server.aggregate(states, weights)
+        global_state = fedavg_aggregate(states, weights)
 
         self._personalized = {}
         for i, client in enumerate(participants):
@@ -58,11 +58,12 @@ class FedPub(FederatedTrainer):
             personalized = fedavg_aggregate(states, attention.tolist())
             self._personalized[client.client_id] = personalized
             self._local_states[client.client_id] = states[i]
-            self.tracker.record_upload("model_masks",
-                                       sum(v.size for v in states[i].values()))
+            if context is not None:
+                context.trainer.tracker.record_upload(
+                    "model_masks", sum(v.size for v in states[i].values()))
         return global_state
 
-    def personalize(self, client: Client, global_state):
+    def personalize(self, client, global_state, context=None):
         personalized = self._personalized.get(client.client_id)
         if personalized is None:
             return global_state
@@ -75,3 +76,36 @@ class FedPub(FederatedTrainer):
             mixed[key] = ((1.0 - self.local_mix) * personalized[key]
                           + self.local_mix * local[key])
         return mixed
+
+
+class FedPub(FederatedTrainer):
+    """FED-PUB = FedAvg trainer + :class:`FedPubAggregation` strategy."""
+
+    name = "FED-PUB"
+
+    def __init__(self, subgraphs: Sequence[Graph], model_name: str = "gcn",
+                 hidden: int = 64, temperature: float = 5.0,
+                 local_mix: float = 0.25,
+                 config: Optional[FederatedConfig] = None):
+        factory = make_model_factory(model_name, hidden=hidden,
+                                     seed=(config.seed if config else 0))
+        super().__init__(subgraphs, factory, config)
+        self.strategy = FedPubAggregation(temperature=temperature,
+                                          local_mix=local_mix)
+
+    # Backwards-compatible views onto the strategy state.
+    @property
+    def temperature(self) -> float:
+        return self.strategy.temperature
+
+    @property
+    def local_mix(self) -> float:
+        return self.strategy.local_mix
+
+    @property
+    def _personalized(self) -> Dict[int, Dict[str, np.ndarray]]:
+        return self.strategy._personalized
+
+    @property
+    def _local_states(self) -> Dict[int, Dict[str, np.ndarray]]:
+        return self.strategy._local_states

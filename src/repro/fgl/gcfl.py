@@ -3,16 +3,20 @@
 Clients are grouped by the similarity of their model updates (gradients); the
 server performs FedAvg *within* each discovered cluster, so clients with very
 different data distributions stop hurting each other.
+
+The clustering and per-cluster averaging live in one
+:class:`~repro.federated.engine.AggregationStrategy`
+(:class:`GCFLAggregation`); the trainer subclass only declares it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.federated import FederatedConfig, FederatedTrainer, fedavg_aggregate
-from repro.federated.client import Client
+from repro.federated.engine import AggregationStrategy
 from repro.fgl.fedgnn import make_model_factory
 from repro.graph import Graph
 
@@ -26,20 +30,17 @@ def _cosine(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.dot(a, b) / denom)
 
 
-class GCFLPlus(FederatedTrainer):
-    """FedAvg with gradient-similarity client clustering."""
+class GCFLAggregation(AggregationStrategy):
+    """FedAvg within clusters of similar gradient directions."""
 
-    name = "GCFL+"
+    name = "gcfl+"
 
-    def __init__(self, subgraphs: Sequence[Graph], model_name: str = "gcn",
-                 hidden: int = 64, num_clusters: int = 2,
-                 config: Optional[FederatedConfig] = None):
-        factory = make_model_factory(model_name, hidden=hidden,
-                                     seed=(config.seed if config else 0))
-        super().__init__(subgraphs, factory, config)
-        self.num_clusters = max(1, min(num_clusters, len(self.clients)))
-        self._cluster_of: Dict[int, int] = {c.client_id: 0 for c in self.clients}
-        self._previous_broadcast: Dict[str, np.ndarray] = self.clients[0].get_weights()
+    def __init__(self, num_clusters: int = 2,
+                 initial_state: Optional[Dict[str, np.ndarray]] = None):
+        self.num_clusters = max(1, num_clusters)
+        self._cluster_of: Dict[int, int] = {}
+        self._previous_broadcast: Optional[Dict[str, np.ndarray]] = \
+            initial_state
         self._cluster_states: Dict[int, Dict[str, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
@@ -67,27 +68,64 @@ class GCFLPlus(FederatedTrainer):
             sims = [_cosine(updates[client_id], c) for c in centroids]
             self._cluster_of[client_id] = int(np.argmax(sims))
 
-    def aggregate(self, states, weights, participants):
+    def aggregate(self, states, weights, context=None):
         """Cluster participants by update direction, FedAvg per cluster."""
+        participants = context.participants if context else []
+        if self._previous_broadcast is None and participants:
+            self._previous_broadcast = participants[0].get_weights()
         updates = {}
         previous = _flatten(self._previous_broadcast)
         for client, state in zip(participants, states):
             updates[client.client_id] = _flatten(state) - previous
-            self.tracker.record_upload("model_gradients", previous.size)
+            if context is not None:
+                context.trainer.tracker.record_upload("model_gradients",
+                                                      previous.size)
         self._cluster_clients(updates)
 
         self._cluster_states = {}
-        for cluster_id in set(self._cluster_of[c.client_id] for c in participants):
+        for cluster_id in set(self._cluster_of[c.client_id]
+                              for c in participants):
             members = [i for i, c in enumerate(participants)
                        if self._cluster_of[c.client_id] == cluster_id]
             self._cluster_states[cluster_id] = fedavg_aggregate(
                 [states[i] for i in members], [weights[i] for i in members])
 
         # The "global" state (used for bookkeeping) averages everything.
-        global_state = self.server.aggregate(states, weights)
+        global_state = fedavg_aggregate(states, weights)
         self._previous_broadcast = global_state
         return global_state
 
-    def personalize(self, client: Client, global_state):
+    def personalize(self, client, global_state, context=None):
         cluster_id = self._cluster_of.get(client.client_id, 0)
         return self._cluster_states.get(cluster_id, global_state)
+
+
+class GCFLPlus(FederatedTrainer):
+    """GCFL+ = FedAvg trainer + :class:`GCFLAggregation` strategy."""
+
+    name = "GCFL+"
+
+    def __init__(self, subgraphs: Sequence[Graph], model_name: str = "gcn",
+                 hidden: int = 64, num_clusters: int = 2,
+                 config: Optional[FederatedConfig] = None):
+        factory = make_model_factory(model_name, hidden=hidden,
+                                     seed=(config.seed if config else 0))
+        super().__init__(subgraphs, factory, config)
+        self.num_clusters = max(1, min(num_clusters, len(self.clients)))
+        self.strategy = GCFLAggregation(
+            num_clusters=self.num_clusters,
+            initial_state=self.clients[0].get_weights())
+        self.strategy._cluster_of = {c.client_id: 0 for c in self.clients}
+
+    # Backwards-compatible views onto the strategy state.
+    @property
+    def _cluster_of(self) -> Dict[int, int]:
+        return self.strategy._cluster_of
+
+    @property
+    def _cluster_states(self) -> Dict[int, Dict[str, np.ndarray]]:
+        return self.strategy._cluster_states
+
+    @property
+    def _previous_broadcast(self) -> Dict[str, np.ndarray]:
+        return self.strategy._previous_broadcast

@@ -1,4 +1,11 @@
-"""Unified construction of every federated method evaluated in the paper."""
+"""Unified construction of every federated method evaluated in the paper.
+
+Every trainer built here runs through the federation engine
+(:mod:`repro.federated.engine`): the ``config`` argument's ``backend`` /
+``num_workers`` / ``aggregation`` fields select the execution backend and
+server aggregation strategy.  Methods with a built-in strategy (``fed-pub``,
+``gcfl+``) keep their own aggregation; the rest honour ``config.aggregation``.
+"""
 
 from __future__ import annotations
 

@@ -19,7 +19,13 @@ class Identity(Module):
 
 
 class Linear(Module):
-    """Affine transformation ``y = x W + b``."""
+    """Affine transformation ``y = x W + b``.
+
+    Accepts stacked inputs of shape ``(B, n, in_features)`` as well as the
+    usual ``(n, in_features)``: the matmul broadcasts the shared weight over
+    the leading batch axis and the bias gradient is reduced over it, which is
+    what the batched federated execution backend relies on.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):

@@ -288,3 +288,49 @@ class TestGradMode:
         a = Tensor(np.ones(2), requires_grad=False)
         out = a * 3 + 1
         assert not out.requires_grad
+
+
+class TestBatchedMatmul:
+    """ndim > 2 matmul: batched operands and broadcast weights."""
+
+    def test_batched_forward_matches_loop(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4, 5))
+        b = rng.normal(size=(3, 5, 2))
+        out = Tensor(a).matmul(Tensor(b))
+        expected = np.stack([a[i] @ b[i] for i in range(3)])
+        assert np.allclose(out.data, expected)
+
+    def test_batched_both_grads(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta.matmul(tb) * ta.matmul(tb)).sum().backward()
+        expected_a = numerical_gradient(
+            lambda x: float(((x @ b) ** 2).sum()), a.copy())
+        expected_b = numerical_gradient(
+            lambda x: float(((a @ x) ** 2).sum()), b.copy())
+        assert np.allclose(ta.grad, expected_a, atol=1e-5)
+        assert np.allclose(tb.grad, expected_b, atol=1e-5)
+
+    def test_broadcast_weight_grad_reduces_batch_axis(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 3, 5))
+        w = rng.normal(size=(5, 2))
+        tw = Tensor(w.copy(), requires_grad=True)
+        Tensor(x).matmul(tw).sum().backward()
+        assert tw.grad.shape == (5, 2)
+        expected = numerical_gradient(lambda v: float((x @ v).sum()), w.copy())
+        assert np.allclose(tw.grad, expected, atol=1e-5)
+
+    def test_2d_behaviour_unchanged(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        ta.matmul(tb).sum().backward()
+        assert np.allclose(ta.grad, np.ones((3, 2)) @ b.T)
+        assert np.allclose(tb.grad, a.T @ np.ones((3, 2)))

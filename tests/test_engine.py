@@ -1,0 +1,324 @@
+"""Tests for the federation engine: execution backends × aggregation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import AdaFGL, AdaFGLConfig
+from repro.experiments import ExperimentSettings
+from repro.federated import (
+    AggregationContext,
+    FederatedConfig,
+    fedavg_aggregate,
+    list_aggregations,
+    list_backends,
+    make_aggregation,
+    make_backend,
+)
+from repro.federated.engine import (
+    BatchedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TopologyWeightedAggregation,
+    TrimmedMeanAggregation,
+    restore_client_state,
+    snapshot_client_state,
+)
+from repro.fgl.fedgnn import FederatedGNN, make_model_factory
+from repro.federated.trainer import FederatedTrainer
+
+
+BACKENDS = ["serial", "process_pool", "batched"]
+
+
+def _config(backend="serial", rounds=3, **kwargs):
+    defaults = dict(rounds=rounds, local_epochs=2, lr=0.02, seed=0,
+                    backend=backend,
+                    num_workers=2 if backend == "process_pool" else 0)
+    defaults.update(kwargs)
+    return FederatedConfig(**defaults)
+
+
+def _run(clients, backend, model="gcn", **kwargs):
+    trainer = FederatedGNN(clients, model, hidden=16,
+                           config=_config(backend, **kwargs))
+    history = trainer.run()
+    return trainer, history
+
+
+class TestRegistries:
+    def test_backend_names(self):
+        assert {"serial", "process_pool", "batched"} <= set(list_backends())
+
+    def test_aggregation_names(self):
+        assert {"fedavg", "topology_weighted", "trimmed_mean"} \
+            <= set(list_aggregations())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            make_backend("quantum")
+
+    def test_unknown_aggregation_raises(self):
+        with pytest.raises(KeyError):
+            make_aggregation("quantum")
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+        strategy = TrimmedMeanAggregation()
+        assert make_aggregation(strategy) is strategy
+
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("batched"), BatchedBackend)
+        assert isinstance(make_backend("process_pool", num_workers=2),
+                          ProcessPoolBackend)
+
+
+class TestBackendEquivalence:
+    """Every backend must reproduce the serial TrainingHistory exactly."""
+
+    @pytest.fixture(scope="class")
+    def serial_history(self, community_clients):
+        return _run(community_clients, "serial")[1]
+
+    @pytest.mark.parametrize("backend", ["process_pool", "batched"])
+    def test_history_matches_serial(self, backend, community_clients,
+                                    serial_history):
+        trainer, history = _run(community_clients, backend)
+        assert history.rounds == serial_history.rounds
+        np.testing.assert_allclose(history.loss, serial_history.loss,
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(history.test_accuracy,
+                                   serial_history.test_accuracy, atol=1e-12)
+        np.testing.assert_allclose(history.train_accuracy,
+                                   serial_history.train_accuracy, atol=1e-12)
+        if backend == "batched":
+            assert trainer.backend.last_fallback is None
+
+    @pytest.mark.parametrize("backend", ["process_pool", "batched"])
+    def test_final_weights_match_serial(self, backend, community_clients):
+        serial_trainer, _ = _run(community_clients, "serial")
+        other_trainer, _ = _run(community_clients, backend)
+        for a, b in zip(serial_trainer.clients, other_trainer.clients):
+            state_a, state_b = a.get_weights(), b.get_weights()
+            for key in state_a:
+                np.testing.assert_allclose(state_a[key], state_b[key],
+                                           rtol=1e-9, atol=1e-12)
+
+    def test_batched_optimizer_state_written_back(self, community_clients):
+        trainer, _ = _run(community_clients, "batched")
+        config = trainer.config
+        expected_steps = config.rounds * config.local_epochs
+        for client in trainer.clients:
+            assert client.optimizer._step_count == expected_steps
+            assert all(np.any(m != 0) for m in client.optimizer._m)
+
+    def test_batched_falls_back_on_non_gcn(self, community_clients):
+        serial_trainer, serial_history = _run(community_clients, "serial",
+                                              model="gamlp", rounds=2)
+        batched_trainer, batched_history = _run(community_clients, "batched",
+                                                model="gamlp", rounds=2)
+        assert batched_trainer.backend.last_fallback is not None
+        np.testing.assert_allclose(batched_history.loss, serial_history.loss)
+        assert batched_history.test_accuracy == serial_history.test_accuracy
+
+
+class TestClientSnapshots:
+    def test_snapshot_restore_roundtrip(self, community_clients):
+        factory = make_model_factory("gcn", hidden=16)
+        reference = FederatedTrainer(community_clients, factory,
+                                     _config("serial", rounds=1)).clients[0]
+        probe = FederatedTrainer(community_clients, factory,
+                                 _config("serial", rounds=1)).clients[0]
+        reference.local_train()
+        restore_client_state(probe, snapshot_client_state(reference))
+        np.testing.assert_allclose(probe.predict(), reference.predict())
+        assert probe.optimizer._step_count == reference.optimizer._step_count
+        # The restored client continues training exactly like the original.
+        assert probe.local_train() == pytest.approx(reference.local_train(),
+                                                    abs=0.0)
+
+    def test_snapshot_captures_rng(self, community_clients):
+        factory = make_model_factory("gcn", hidden=16)
+        trainer = FederatedTrainer(community_clients, factory,
+                                   _config("serial", rounds=1))
+        client = trainer.clients[0]
+        snapshot = snapshot_client_state(client)
+        first = client.local_train()
+        restore_client_state(client, snapshot)
+        second = client.local_train()
+        # Same weights AND same dropout stream → identical epoch losses.
+        assert first == pytest.approx(second, abs=0.0)
+
+
+class TestAggregationStrategies:
+    def test_trimmed_mean_discards_outliers(self):
+        states = [{"w": np.full((2, 2), v)} for v in (0.0, 1.0, 2.0, 50.0)]
+        out = TrimmedMeanAggregation(trim_ratio=0.25).aggregate(
+            states, [1.0] * 4)
+        assert np.allclose(out["w"], 1.5)  # mean of the middle two
+
+    def test_trimmed_mean_zero_ratio_is_plain_mean(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([4.0])}]
+        out = TrimmedMeanAggregation(trim_ratio=0.0).aggregate(states, [1, 1])
+        assert out["w"][0] == pytest.approx(2.0)
+
+    def test_trimmed_mean_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregation(trim_ratio=0.5)
+
+    def test_topology_weighted_prefers_representative_clients(
+            self, community_clients):
+        trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                               config=_config("serial", rounds=1))
+        strategy = TopologyWeightedAggregation(temperature=4.0)
+        context = AggregationContext(round_index=1,
+                                     participants=trainer.clients,
+                                     trainer=trainer)
+        base = [float(c.num_samples) for c in trainer.clients]
+        adjusted = strategy.participant_weights(base, context)
+        assert len(adjusted) == len(base)
+        assert all(w > 0 for w in adjusted)
+        # Zero temperature reduces exactly to the FedAvg weighting.
+        neutral = TopologyWeightedAggregation(temperature=0.0)
+        np.testing.assert_allclose(
+            neutral.participant_weights(base, context), base)
+
+    def test_topology_weighted_runs_end_to_end(self, community_clients):
+        trainer, history = _run(community_clients, "serial", rounds=2,
+                                aggregation="topology_weighted")
+        assert len(history.rounds) == 2
+        assert trainer.server.global_state is not None
+
+    def test_topology_weighted_differs_from_fedavg(self, community_clients):
+        _, fedavg_history = _run(community_clients, "serial", rounds=2)
+        _, topo_history = _run(
+            community_clients, "serial", rounds=2,
+            aggregation=TopologyWeightedAggregation(temperature=8.0))
+        assert not np.allclose(fedavg_history.loss, topo_history.loss)
+
+    def test_strategy_without_context_falls_back(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([2.0])}]
+        out = TopologyWeightedAggregation().aggregate(states, [1.0, 1.0])
+        assert out["w"][0] == pytest.approx(
+            fedavg_aggregate(states)["w"][0])
+
+
+class TestPartialParticipation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_selection_count_and_accounting(self, backend, community_clients):
+        config = _config(backend, rounds=3, participation=0.67)
+        trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                               config=config)
+        trainer.run()
+        num_params = trainer.clients[0].model.num_parameters()
+        uploaded = trainer.tracker.uploaded["model_parameters"]
+        downloaded = trainer.tracker.downloaded["model_parameters"]
+        # Uploads: only the selected participants; downloads: broadcast all.
+        assert uploaded == 3 * 2 * num_params
+        assert downloaded == 3 * len(trainer.clients) * num_params
+
+    def test_selection_is_seed_deterministic(self, community_clients):
+        picks = []
+        for _ in range(2):
+            trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                                   config=_config("serial", rounds=1,
+                                                  participation=0.67))
+            picks.append([[c.client_id for c in trainer._select_participants()]
+                          for _ in range(5)])
+        assert picks[0] == picks[1]
+        counts = {len(round_picks) for round_picks in picks[0]}
+        assert counts == {2}
+
+    def test_partial_participation_histories_match_across_backends(
+            self, community_clients):
+        histories = {}
+        for backend in BACKENDS:
+            _, histories[backend] = _run(community_clients, backend,
+                                         participation=0.67)
+        for backend in ("process_pool", "batched"):
+            np.testing.assert_allclose(histories[backend].loss,
+                                       histories["serial"].loss,
+                                       rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(histories[backend].test_accuracy,
+                                       histories["serial"].test_accuracy,
+                                       atol=1e-12)
+
+
+class TestEvaluationCaching:
+    def test_one_forward_per_eval_tick(self, community_clients):
+        trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                               config=_config("serial", rounds=2))
+        counts = {}
+
+        def wrap(client):
+            inner = client.model.forward
+
+            def counting(*args, **kwargs):
+                counts[client.client_id] = counts.get(client.client_id, 0) + 1
+                return inner(*args, **kwargs)
+
+            client.model.forward = counting
+
+        for client in trainer.clients:
+            wrap(client)
+        trainer.run()
+        # Per round: local_epochs training forwards + ONE cached predict
+        # shared by evaluate("train"), evaluate("test") and the per-client
+        # breakdown (previously three predict passes per client per round).
+        expected = 2 * (trainer.config.local_epochs + 1)
+        assert all(count == expected for count in counts.values())
+
+    def test_predict_cache_invalidated_by_updates(self, community_clients):
+        trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                               config=_config("serial", rounds=1))
+        client = trainer.clients[0]
+        first = client.predict()
+        assert client.predict() is first  # cached
+        client.local_train()
+        second = client.predict()
+        assert second is not first
+        client.set_weights(trainer.clients[1].get_weights())
+        assert client.predict() is not second
+
+
+class TestSparseDefaultParity:
+    def test_experiment_settings_default_sparse(self):
+        settings = ExperimentSettings()
+        assert settings.adafgl_config().sparse_propagation is True
+        # The library-level config stays dense (explicit opt-in elsewhere).
+        assert AdaFGLConfig().sparse_propagation is False
+
+    def test_dense_vs_exact_sparse_parity(self, community_clients):
+        """The parity gate for the sparse-by-default flip.
+
+        ``sparse_propagation=True, top_k=None`` keeps every off-diagonal
+        similarity entry and must reproduce the dense Step-2 history.
+        """
+        base = AdaFGLConfig(rounds=2, local_epochs=1, hidden=16,
+                            personalized_epochs=6, k_prop=2,
+                            message_layers=1, seed=0)
+        dense = AdaFGL(community_clients, dataclasses.replace(
+            base, sparse_propagation=False))
+        dense.run()
+        sparse = AdaFGL(community_clients, dataclasses.replace(
+            base, sparse_propagation=True, propagation_top_k=None))
+        sparse.run()
+        np.testing.assert_allclose(sparse.history.loss, dense.history.loss,
+                                   rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(sparse.history.test_accuracy,
+                                   dense.history.test_accuracy, atol=1e-12)
+
+    def test_default_topk_accuracy_within_tolerance(self, community_clients):
+        """The default top-k approximation stays close to dense accuracy."""
+        base = AdaFGLConfig(rounds=2, local_epochs=1, hidden=16,
+                            personalized_epochs=8, k_prop=2,
+                            message_layers=1, seed=0)
+        dense = AdaFGL(community_clients, dataclasses.replace(
+            base, sparse_propagation=False))
+        dense.run()
+        sparse = AdaFGL(community_clients, dataclasses.replace(
+            base, sparse_propagation=True))
+        sparse.run()
+        assert abs(sparse.evaluate("test") - dense.evaluate("test")) < 0.1
