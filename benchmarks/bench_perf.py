@@ -9,7 +9,9 @@ Three suites (``--suite``), each writing a JSON artifact under
 * ``step1`` (``BENCH_step1.json``) — Step-1 federated collaborative-training
   rounds/sec for every execution backend (``serial`` / ``process_pool`` /
   ``batched``) on a many-small-clients split, including speedups over serial
-  and a loss-parity check (PR 2);
+  and a loss-parity check (PR 2; the process pool is the persistent-worker
+  engine since PR 3 — resident clients, delta-only IPC, intra-worker shard
+  fusion — and ``--model sgc`` exercises the batched SGC family);
 * ``topk`` (``BENCH_topk.json``) — accuracy-vs-k curve for
   ``propagation_top_k``, against the dense reference, to pick per-dataset
   defaults.
@@ -34,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core import AdaFGLConfig, FederatedKnowledgeExtractor
+from repro.core import AdaFGL, AdaFGLConfig, FederatedKnowledgeExtractor
 from repro.core.adafgl import PersonalizedClient
 from repro.datasets import CSBMConfig, generate_csbm, make_split_masks
 from repro.federated import FederatedConfig
@@ -112,7 +114,8 @@ def bench_client(graph, probs, config: AdaFGLConfig, epochs: int) -> Dict:
 
 def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
                   top_k: int = 32, seed: int = 0,
-                  output_name: str = "BENCH_step2") -> Dict:
+                  output_name: str = "BENCH_step2",
+                  pool_kwargs: Optional[Dict] = None) -> Dict:
     base = AdaFGLConfig(hidden=64, seed=seed)
     dense_config = dataclasses.replace(
         base, sparse_propagation=False, use_propagation_cache=False)
@@ -153,6 +156,9 @@ def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
               f"mem {dense['matrix_mb']:.1f}->{sparse['matrix_mb']:.1f} MB  "
               f"acc {dense['test_accuracy']:.3f}/{sparse['test_accuracy']:.3f}")
 
+    # Step-2 persistent-pool timing + exact parity (PR 3).
+    report["step2_pool"] = run_step2_pool(seed=seed, **(pool_kwargs or {}))
+
     record_json(output_name, report)
     return report
 
@@ -160,15 +166,17 @@ def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
 def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
                        rounds: int = 10, local_epochs: int = 5,
                        hidden: int = 32, num_features: int = 32,
-                       num_workers: int = 2, seed: int = 0,
+                       num_workers: int = 2, model: str = "gcn",
+                       seed: int = 0,
                        output_name: str = "BENCH_step1") -> Dict:
     """Step-1 rounds/sec for every execution backend on one client split.
 
     Uses a many-small-clients split (the regime real cross-silo federations
     live in, and where per-client Python overhead dominates) with the same
-    federated GCN the AdaFGL knowledge extractor trains.  Every backend must
-    reproduce the serial training history; ``loss_gap`` records the largest
-    per-round deviation as a parity check.
+    federated GCN the AdaFGL knowledge extractor trains (``model="sgc"``
+    benchmarks the batched SGC/propagation family instead).  Every backend
+    must reproduce the serial training history; ``loss_gap`` records the
+    largest per-round deviation as a parity check.
     """
     graphs = [make_graph(nodes_per_client, seed=seed + index,
                          num_features=num_features)
@@ -180,7 +188,7 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
             "num_clients": num_clients, "nodes_per_client": nodes_per_client,
             "rounds": rounds, "local_epochs": local_epochs, "hidden": hidden,
             "num_features": num_features, "num_workers": num_workers,
-            "model": "gcn", "seed": seed,
+            "model": model, "seed": seed,
         },
         "backends": {},
     }
@@ -190,7 +198,7 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
         config = FederatedConfig(
             rounds=rounds, local_epochs=local_epochs, seed=seed,
             backend=backend, num_workers=workers, eval_every=rounds)
-        trainer = FederatedGNN(graphs, "gcn", hidden=hidden, config=config)
+        trainer = FederatedGNN(graphs, model, hidden=hidden, config=config)
         start = time.perf_counter()
         history = trainer.run()
         elapsed = time.perf_counter() - start
@@ -215,6 +223,58 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
 
     record_json(output_name, report)
     return report
+
+
+def run_step2_pool(num_clients: int = 8, nodes_per_client: int = 250,
+                   epochs: int = 10, step1_rounds: int = 3,
+                   num_workers: int = 2, seed: int = 0) -> Dict:
+    """Step-2 serial vs persistent-pool timing plus an exact parity check.
+
+    Step 1 is pinned serial on both sides so the comparison isolates the
+    Step-2 execution path.  ``report_gap`` is the largest per-client accuracy
+    deviation between the two paths — the persistent pool must reproduce the
+    serial ``client_reports`` exactly (0.0).
+    """
+    graphs = [make_graph(nodes_per_client, seed=seed + index)
+              for index in range(num_clients)]
+    base = AdaFGLConfig(hidden=64, seed=seed, rounds=step1_rounds,
+                        local_epochs=2, personalized_epochs=epochs,
+                        sparse_propagation=True, propagation_top_k=32,
+                        step1_backend="serial")
+
+    section: Dict = {
+        "config": {
+            "num_clients": num_clients,
+            "nodes_per_client": nodes_per_client, "epochs": epochs,
+            "step1_rounds": step1_rounds, "num_workers": num_workers,
+            "seed": seed,
+        },
+    }
+    reports = {}
+    for label, workers in (("serial", 0), ("persistent_pool", num_workers)):
+        method = AdaFGL(graphs, dataclasses.replace(base,
+                                                    num_workers=workers))
+        method.run_step1()
+        start = time.perf_counter()
+        method.run_step2()
+        elapsed = time.perf_counter() - start
+        reports[label] = [r.accuracy for r in method.client_reports()]
+        section[label] = {
+            "step2_sec": round(elapsed, 4),
+            "epochs_per_sec": round(epochs / elapsed, 3),
+            "test_accuracy": round(method.evaluate("test"), 4),
+        }
+    section["speedup_vs_serial"] = round(
+        section["serial"]["step2_sec"]
+        / section["persistent_pool"]["step2_sec"], 2)
+    section["report_gap"] = float(np.max(np.abs(
+        np.asarray(reports["serial"])
+        - np.asarray(reports["persistent_pool"]))))
+    print(f"step2 serial {section['serial']['step2_sec']:.2f}s  "
+          f"pool {section['persistent_pool']['step2_sec']:.2f}s  "
+          f"({section['speedup_vs_serial']:.2f}x)  "
+          f"report_gap {section['report_gap']:.2e}")
+    return section
 
 
 def run_topk_curve(num_nodes: int = 1000,
@@ -285,6 +345,9 @@ def main(argv: Optional[List[str]] = None) -> Dict:
                         help="local epochs per round (step1 suite)")
     parser.add_argument("--workers", type=int, default=2,
                         help="process-pool width (step1 suite)")
+    parser.add_argument("--model", default="gcn", choices=["gcn", "sgc"],
+                        help="federated model (step1 suite; sgc exercises "
+                             "the batched SGC/propagation family)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output-name", default=None,
                         help="override the JSON artifact name")
@@ -315,7 +378,7 @@ def main(argv: Optional[List[str]] = None) -> Dict:
         results["step1"] = run_step1_backends(
             num_clients=args.clients, nodes_per_client=args.client_nodes,
             rounds=args.rounds, local_epochs=args.local_epochs,
-            num_workers=args.workers, seed=args.seed,
+            num_workers=args.workers, model=args.model, seed=args.seed,
             output_name=(args.output_name if args.suite == "step1"
                          and args.output_name else "BENCH_step1"))
     if args.suite in ("topk", "all"):

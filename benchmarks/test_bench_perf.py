@@ -1,9 +1,11 @@
-"""Pytest entry point for the sparse-engine timing harness (marker: bench).
+"""Pytest entry point for the perf-engine timing harness (marker: bench).
 
 Skipped by tier-1 runs; enable with ``pytest --run-bench`` or
 ``REPRO_RUN_BENCH=1``.  Uses small graphs so CI-scale machines finish in
-seconds; the checked-in ``BENCH_step2.json`` is produced by running
-``bench_perf.py`` directly at full size.
+seconds — the CI ``bench-smoke`` job runs exactly this subset, so backend
+perf regressions (a broken pool, a non-batching plan, lost parity) fail
+loudly instead of rotting in the checked-in JSON artifacts, which are
+produced by running ``bench_perf.py`` directly at full size.
 """
 
 import pytest
@@ -14,21 +16,28 @@ from benchmarks.bench_perf import run_benchmark
 @pytest.mark.bench
 def test_perf_harness_smoke():
     report = run_benchmark([200, 400], epochs=4, step1_rounds=2, top_k=16,
-                           output_name="BENCH_step2_smoke")
+                           output_name="BENCH_step2_smoke",
+                           pool_kwargs=dict(num_clients=4,
+                                            nodes_per_client=80, epochs=4,
+                                            step1_rounds=2))
     assert len(report["sizes"]) == 2
     for entry in report["sizes"]:
         assert entry["epoch_speedup"] > 0
         assert entry["dense"]["matrix_mb"] >= entry["sparse"]["matrix_mb"]
         assert 0.0 <= entry["sparse"]["test_accuracy"] <= 1.0
+    # The persistent-pool Step 2 reproduces serial client reports exactly.
+    assert report["step2_pool"]["report_gap"] == 0.0
 
 
 @pytest.mark.bench
-def test_step1_backend_harness_smoke():
+@pytest.mark.parametrize("model", ["gcn", "sgc"])
+def test_step1_backend_harness_smoke(model):
     from benchmarks.bench_perf import run_step1_backends
 
     report = run_step1_backends(num_clients=6, nodes_per_client=40,
                                 rounds=2, local_epochs=2, num_workers=2,
-                                output_name="BENCH_step1_smoke")
+                                model=model,
+                                output_name=f"BENCH_step1_smoke_{model}")
     assert set(report["backends"]) == {"serial", "process_pool", "batched"}
     for entry in report["backends"].values():
         assert entry["rounds_per_sec"] > 0

@@ -42,6 +42,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.aggregation = args.aggregation
     if getattr(args, "workers", None) is not None:
         settings.num_workers = args.workers
+    if getattr(args, "intra_worker", None) is not None:
+        settings.intra_worker = args.intra_worker
     return settings
 
 
@@ -66,6 +68,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool width (backend=process_pool and "
                              "AdaFGL Step-2)")
+    parser.add_argument("--intra-worker", default=None,
+                        choices=["auto", "batched", "serial"],
+                        help="how a persistent pool worker trains its "
+                             "resident client shard (auto fuses it through "
+                             "the batched engine when possible)")
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:

@@ -10,7 +10,12 @@ heterophilous propagation module and the Homophily Confidence Score
 (:mod:`repro.core.hcs`) that adaptively mixes their outputs (Eq. 7–17).
 """
 
-from repro.core.adafgl import AdaFGL, AdaFGLConfig
+from repro.core.adafgl import (
+    AdaFGL,
+    AdaFGLConfig,
+    DEFAULT_PROPAGATION_TOP_K,
+    resolve_propagation_top_k,
+)
 from repro.core.knowledge import (
     FederatedKnowledgeExtractor,
     optimized_propagation_matrix,
@@ -23,6 +28,8 @@ from repro.core.ablation import ablation_variants
 __all__ = [
     "AdaFGL",
     "AdaFGLConfig",
+    "DEFAULT_PROPAGATION_TOP_K",
+    "resolve_propagation_top_k",
     "FederatedKnowledgeExtractor",
     "optimized_propagation_matrix",
     "PropagationCache",

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -16,7 +15,7 @@ from repro.core.knowledge import (
 )
 from repro.core.modules import AdaFGLClientModel
 from repro.core.propagation import PropagationCache
-from repro.federated import FederatedConfig
+from repro.federated import FederatedConfig, ProcessPoolBackend
 from repro.graph import Graph, edge_homophily
 from repro.graph.normalize import normalize_adjacency
 from repro.metrics import ClientReport, TrainingHistory, masked_accuracy
@@ -60,15 +59,21 @@ class AdaFGLConfig:
 
     # Sparse-first propagation engine.  ``sparse_propagation`` keeps P̃ in CSR
     # form with only the ``propagation_top_k`` strongest similarity entries
-    # per row (Eq. 5); ``use_propagation_cache`` precomputes the constant
-    # k-hop feature blocks once per client; ``num_workers > 1`` trains the
-    # (embarrassingly parallel) Step-2 clients in a process pool — and, via
-    # the federation engine, also parallelises Step-1 local epochs unless
-    # ``step1_backend`` pins a specific execution backend.
+    # per row (Eq. 5); ``"auto"`` (the default) reads the per-dataset value
+    # the dataset registry stamped into ``graph.metadata`` (picked off the
+    # BENCH_topk.json accuracy-vs-k curve) and falls back to 32 — an explicit
+    # integer (or ``None`` for the exact keep-every-entry sparse path) always
+    # wins over the registry default.  ``use_propagation_cache`` precomputes
+    # the constant k-hop feature blocks once per client; ``num_workers > 1``
+    # trains the (embarrassingly parallel) Step-2 clients in the persistent
+    # worker pool — shared with Step-1 local training, whose execution
+    # backend auto-promotes to ``process_pool`` unless ``step1_backend`` pins
+    # one explicitly.
     sparse_propagation: bool = False
-    propagation_top_k: Optional[int] = 32
+    propagation_top_k: Union[int, None, str] = "auto"
     use_propagation_cache: bool = True
     num_workers: int = 0
+    intra_worker: str = "auto"
 
     # Federation-engine knobs for Step 1 (see repro.federated.engine):
     # ``step1_backend`` is an execution-backend name ("serial" /
@@ -100,7 +105,38 @@ class AdaFGLConfig:
             rounds=self.rounds, local_epochs=self.local_epochs, lr=self.lr,
             weight_decay=self.weight_decay, participation=self.participation,
             seed=self.seed, backend=backend, num_workers=self.num_workers,
+            intra_worker=self.intra_worker,
             aggregation=self.step1_aggregation)
+
+
+#: fallback sparsity when neither the config nor the dataset registry pins one
+DEFAULT_PROPAGATION_TOP_K = 32
+
+
+def resolve_propagation_top_k(config: AdaFGLConfig,
+                              graph: Optional[Graph] = None
+                              ) -> Optional[int]:
+    """Effective ``top_k`` for a client graph (Eq. 5 sparsification).
+
+    Precedence: an explicit config value (an ``int``, or ``None`` meaning
+    keep every off-diagonal entry) beats the per-dataset registry default
+    stamped into ``graph.metadata["propagation_top_k"]`` by
+    :func:`repro.datasets.load_dataset`, which beats
+    :data:`DEFAULT_PROPAGATION_TOP_K`.
+    """
+    top_k = config.propagation_top_k
+    if isinstance(top_k, str):
+        if top_k != "auto":
+            raise ValueError(
+                f"propagation_top_k must be an int, None or 'auto', "
+                f"got {top_k!r}")
+        registry_default = None
+        if graph is not None:
+            registry_default = graph.metadata.get("propagation_top_k")
+        if registry_default is None:
+            return DEFAULT_PROPAGATION_TOP_K
+        return int(registry_default)
+    return top_k
 
 
 class PersonalizedClient:
@@ -123,7 +159,7 @@ class PersonalizedClient:
             self.propagation = optimized_propagation_matrix(
                 graph.adjacency, self.extractor_probs, alpha=config.alpha,
                 sparse=config.sparse_propagation,
-                top_k=(config.propagation_top_k
+                top_k=(resolve_propagation_top_k(config, graph)
                        if config.sparse_propagation else None))
         else:
             normalised = normalize_adjacency(graph.adjacency, r=0.5,
@@ -247,6 +283,24 @@ def _train_personalized_client(payload: Tuple) -> Tuple:
             client.propagation, client.hcs)
 
 
+def _step2_worker_job(residents: Dict, payload: Tuple) -> Tuple:
+    """Persistent-pool entry point for one Step-2 client.
+
+    Runs inside a worker's command loop (see
+    :mod:`repro.federated.engine.persistent`): when the worker already holds
+    the client's Step-1 :class:`~repro.federated.client.Client` resident, the
+    subgraph is taken from it instead of being shipped again — only P̂ and
+    the config cross the process boundary, and the
+    :class:`~repro.core.propagation.PropagationCache` blocks are built once
+    in the owning worker.
+    """
+    client_id, graph, extractor_probs, config, epochs, checkpoints = payload
+    if graph is None:
+        graph = residents[client_id].graph
+    return _train_personalized_client(
+        (client_id, graph, extractor_probs, config, epochs, checkpoints))
+
+
 class AdaFGL:
     """The complete AdaFGL paradigm over a set of client subgraphs.
 
@@ -273,6 +327,33 @@ class AdaFGL:
         self.history = TrainingHistory()
         self.personalized: List[PersonalizedClient] = []
         self.step1_history: Optional[TrainingHistory] = None
+        self._in_context = False
+        if self.config.num_workers > 1:
+            # Step 2 rides the same persistent worker pool as Step 1 (worker-
+            # resident subgraphs are reused), so the trainer must not tear it
+            # down when run_step1 returns; the pipeline end (run_step2 /
+            # __exit__ / close) releases it instead.
+            self.extractor.trainer.close_backend_after_run = False
+
+    # ------------------------------------------------------------------
+    # Resource management
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend worker pool (idempotent).
+
+        Needed explicitly only when Step 1 ran with ``num_workers > 1`` and
+        Step 2 is never executed; ``run`` / ``run_step2`` and the context-
+        manager protocol release the pool on their own.
+        """
+        self.extractor.trainer.close()
+
+    def __enter__(self) -> "AdaFGL":
+        self._in_context = True
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self._in_context = False
+        self.close()
 
     # ------------------------------------------------------------------
     # Orchestration
@@ -293,7 +374,16 @@ class AdaFGL:
         if self.step1_history is None:
             raise RuntimeError("run_step1 must be executed before run_step2")
         epochs = epochs if epochs is not None else self.config.personalized_epochs
+        try:
+            return self._run_step2(epochs)
+        finally:
+            # Step 2 is the pipeline end: outside a ``with`` block the worker
+            # pool is released here (and on any mid-run failure), so plain
+            # ``AdaFGL(...).run()`` never leaks worker processes.
+            if not self._in_context:
+                self.close()
 
+    def _run_step2(self, epochs: int) -> TrainingHistory:
         probabilities = self.extractor.client_probabilities()
         graphs = self.extractor.client_graphs()
         offset = self.step1_history.rounds[-1] if self.step1_history.rounds else 0
@@ -323,20 +413,69 @@ class AdaFGL:
     def _run_step2_parallel(self, graphs: Sequence[Graph],
                             probabilities: Sequence[np.ndarray], epochs: int,
                             checkpoints: List[int], offset: int) -> None:
-        """Train every Step-2 client in a process pool and merge the results."""
-        payloads = [(index, graph, probs, self.config, epochs, checkpoints)
-                    for index, (graph, probs) in enumerate(
-                        zip(graphs, probabilities))]
-        workers = min(self.config.num_workers, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # map() preserves input order, so results align with client ids.
-            results = list(pool.map(_train_personalized_client, payloads))
+        """Train every Step-2 client on the persistent pool, merge results.
+
+        Reuses the Step-1 :class:`~repro.federated.ProcessPoolBackend` when
+        the extractor trained on one — each worker already holds its shard's
+        subgraphs resident, so only P̂ and the config are shipped down — and
+        spins up a dedicated pool otherwise (released before returning).
+        """
+        backend = self.extractor.trainer.backend
+        owned = not isinstance(backend, ProcessPoolBackend)
+        if owned:
+            backend = ProcessPoolBackend(
+                min(self.config.num_workers, len(graphs)),
+                intra_worker=self.config.intra_worker)
+        try:
+            results = self._dispatch_step2_jobs(backend, graphs,
+                                                probabilities, epochs,
+                                                checkpoints)
+        finally:
+            if owned:
+                backend.close()
 
         # Rebuild in-process clients carrying the trained weights so that
         # evaluate() / client_reports() / client_hcs() work exactly as after
         # a serial run; P̃ and HCS come back from the workers so their
         # expensive setup is not paid twice.
         self.personalized = []
+        self._merge_step2_results(results, graphs, probabilities,
+                                  checkpoints, offset)
+
+    def _dispatch_step2_jobs(self, backend: ProcessPoolBackend,
+                             graphs: Sequence[Graph],
+                             probabilities: Sequence[np.ndarray], epochs: int,
+                             checkpoints: List[int]) -> List[Tuple]:
+        """Fan Step-2 jobs out over the workers; collect in client-id order.
+
+        Clients whose Step-1 counterpart is resident in a worker are routed
+        to that worker with ``graph=None`` (the resident subgraph is reused);
+        everyone else is sharded deterministically by ``cid % workers``.
+        """
+        pool = backend.ensure_pool()
+        per_worker: Dict[int, List[Tuple[str, object]]] = {}
+        for cid in range(len(graphs)):
+            owner = backend.owner_of(cid)
+            resident = owner is not None
+            if not resident:
+                owner = cid % pool.num_workers
+            payload = (cid, None if resident else graphs[cid],
+                       probabilities[cid], self.config, epochs, checkpoints)
+            per_worker.setdefault(owner, []).append(
+                ("call", (_step2_worker_job, (payload,))))
+        # run_batches keeps one job in flight per worker: Step-2 payloads
+        # and replies (graphs, P̃ matrices) are far larger than a pipe
+        # buffer, so naive queue-everything dispatch can deadlock.
+        results: Dict[int, Tuple] = {}
+        for batch in pool.run_batches(per_worker).values():
+            for result in batch:
+                results[result[0]] = result
+        return [results[cid] for cid in range(len(graphs))]
+
+    def _merge_step2_results(self, results: List[Tuple],
+                             graphs: Sequence[Graph],
+                             probabilities: Sequence[np.ndarray],
+                             checkpoints: List[int], offset: int) -> None:
         all_losses: Dict[int, List[float]] = {}
         all_metrics: Dict[int, Dict[int, Dict[str, float]]] = {}
         all_counts: Dict[int, Dict[str, int]] = {}

@@ -36,16 +36,31 @@ class DatasetSpec:
     feature_signal: float = 1.5
     paper_nodes: int = 0
     paper_edges: int = 0
+    #: default AdaFGL ``propagation_top_k`` (Eq. 5 sparsification), read off
+    #: the ``benchmarks/results/BENCH_topk.json`` accuracy-vs-k curve: on
+    #: homophilous graphs even k=4 matches the dense reference, so k=8 gives
+    #: comfortable margin; the lower the homophily, the more of the P̂P̂ᵀ
+    #: similarity mass the heterophilous propagation needs, hence k=16/32.
+    #: ``load_dataset`` stamps this into ``graph.metadata`` where
+    #: :func:`repro.core.resolve_propagation_top_k` picks it up unless the
+    #: config names an explicit value.  Regenerate the curve with
+    #: ``python benchmarks/bench_perf.py --suite topk``.
+    propagation_top_k: int = 32
 
 
 def _spec(name, nodes, feats, classes, degree, homophily, splits, task,
-          description, signal=1.5, paper_nodes=0, paper_edges=0) -> DatasetSpec:
+          description, signal=1.5, paper_nodes=0, paper_edges=0,
+          top_k=None) -> DatasetSpec:
+    if top_k is None:
+        # BENCH_topk-informed banding by target edge homophily.
+        top_k = 8 if homophily >= 0.7 else (16 if homophily >= 0.4 else 32)
     return DatasetSpec(
         name=name, num_nodes=nodes, num_features=feats, num_classes=classes,
         avg_degree=degree, edge_homophily=homophily,
         train_ratio=splits[0], val_ratio=splits[1], test_ratio=splits[2],
         task=task, description=description, feature_signal=signal,
-        paper_nodes=paper_nodes, paper_edges=paper_edges)
+        paper_nodes=paper_nodes, paper_edges=paper_edges,
+        propagation_top_k=top_k)
 
 
 #: Table I of the paper, scaled down for CPU-only training.  The original node
@@ -130,6 +145,10 @@ def load_dataset(name: str, seed: int = 0, num_nodes: int = None) -> Graph:
     graph.metadata["spec"] = spec
     graph.metadata["task"] = spec.task
     graph.metadata["num_classes"] = spec.num_classes
+    # Per-dataset sparsity default; survives node_subgraph / client splits
+    # (metadata is inherited), so AdaFGL's ``propagation_top_k="auto"``
+    # resolves to it on every client subgraph of this dataset.
+    graph.metadata["propagation_top_k"] = spec.propagation_top_k
     return graph
 
 

@@ -53,6 +53,10 @@ class ExperimentSettings:
     aggregation: str = "fedavg"
     num_workers: int = field(
         default_factory=lambda: _env_int("REPRO_WORKERS", 0))
+    #: how a persistent process-pool worker trains its resident shard:
+    #: "auto"/"batched" fuse it through the batched engine, "serial" pins
+    #: the per-client loop.
+    intra_worker: str = "auto"
 
     def federated_config(self) -> FederatedConfig:
         backend = self.backend
@@ -63,7 +67,8 @@ class ExperimentSettings:
                                participation=self.participation,
                                seed=self.seed, backend=backend,
                                aggregation=self.aggregation,
-                               num_workers=self.num_workers)
+                               num_workers=self.num_workers,
+                               intra_worker=self.intra_worker)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
         # ``sparse_propagation=True`` is the experiment-runner default since
@@ -83,7 +88,8 @@ class ExperimentSettings:
                               # "serial") is forwarded verbatim.
                               step1_backend=self.backend,
                               step1_aggregation=self.aggregation,
-                              num_workers=self.num_workers)
+                              num_workers=self.num_workers,
+                              intra_worker=self.intra_worker)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

@@ -7,6 +7,7 @@ from repro.federated.engine import (
     AggregationStrategy,
     BatchedBackend,
     ExecutionBackend,
+    FedAdamAggregation,
     ProcessPoolBackend,
     SerialBackend,
     list_aggregations,
@@ -27,6 +28,7 @@ __all__ = [
     "AggregationContext",
     "AggregationStrategy",
     "ExecutionBackend",
+    "FedAdamAggregation",
     "SerialBackend",
     "ProcessPoolBackend",
     "BatchedBackend",

@@ -21,6 +21,7 @@ from repro.federated.engine.aggregation import (
     AGGREGATION_REGISTRY,
     AggregationContext,
     AggregationStrategy,
+    FedAdamAggregation,
     FedAvgAggregation,
     TopologyWeightedAggregation,
     TrimmedMeanAggregation,
@@ -40,11 +41,18 @@ from repro.federated.engine.backends import (
     snapshot_client_state,
 )
 from repro.federated.engine.batched import BatchedBackend
+from repro.federated.engine.persistent import (
+    PersistentWorkerPool,
+    WorkerError,
+    apply_state_delta,
+    encode_state_delta,
+)
 
 __all__ = [
     "AGGREGATION_REGISTRY",
     "AggregationContext",
     "AggregationStrategy",
+    "FedAdamAggregation",
     "FedAvgAggregation",
     "TopologyWeightedAggregation",
     "TrimmedMeanAggregation",
@@ -61,4 +69,8 @@ __all__ = [
     "register_backend",
     "snapshot_client_state",
     "restore_client_state",
+    "PersistentWorkerPool",
+    "WorkerError",
+    "encode_state_delta",
+    "apply_state_delta",
 ]

@@ -174,11 +174,73 @@ class TrimmedMeanAggregation(AggregationStrategy):
         return aggregated
 
 
+class FedAdamAggregation(AggregationStrategy):
+    """Server-side Adam over the FedAvg pseudo-gradient (FedOpt family).
+
+    Adaptive federated optimisation (Reddi et al., 2021): the server keeps
+    its own model ``x`` and first/second moment estimates.  Every round the
+    participants' uploads are FedAvg-combined and their offset from the
+    server model is treated as a pseudo-gradient
+
+    ``Δ_t = avg(states) - x_t``,
+    ``m_t = β₁ m_{t-1} + (1 - β₁) Δ_t``,
+    ``v_t = β₂ v_{t-1} + (1 - β₂) Δ_t²``,
+    ``x_{t+1} = x_t + η · m_t / (√v_t + τ)``
+
+    (no bias correction, matching the paper).  The very first aggregate call
+    has no server model yet, so it adopts the FedAvg result as ``x₁`` with
+    zero moments — identical to FedAvg for that round.
+    """
+
+    name = "fedadam"
+
+    def __init__(self, server_lr: float = 0.1, beta1: float = 0.9,
+                 beta2: float = 0.99, tau: float = 1e-3):
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("beta1/beta2 must be in [0, 1)")
+        if tau <= 0:
+            # tau=0 turns a zero pseudo-gradient into 0/0 = NaN.
+            raise ValueError("tau must be positive")
+        self.server_lr = server_lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.tau = tau
+        self._model: Optional[StateDict] = None
+        self._m: Optional[StateDict] = None
+        self._v: Optional[StateDict] = None
+
+    def aggregate(self, states, weights, context=None):
+        del context
+        average = fedavg_aggregate(states, weights)
+        if self._model is None:
+            self._model = {key: value.copy()
+                           for key, value in average.items()}
+            self._m = {key: np.zeros_like(value)
+                       for key, value in average.items()}
+            self._v = {key: np.zeros_like(value)
+                       for key, value in average.items()}
+            return average
+        updated: StateDict = {}
+        for key, x in self._model.items():
+            delta = average[key] - x
+            self._m[key] = self.beta1 * self._m[key] \
+                + (1.0 - self.beta1) * delta
+            self._v[key] = self.beta2 * self._v[key] \
+                + (1.0 - self.beta2) * delta * delta
+            updated[key] = x + self.server_lr * self._m[key] / (
+                np.sqrt(self._v[key]) + self.tau)
+        self._model = updated
+        return {key: value.copy() for key, value in updated.items()}
+
+
 #: name → zero-argument factory for every built-in strategy.
 AGGREGATION_REGISTRY: Dict[str, Callable[[], AggregationStrategy]] = {
     FedAvgAggregation.name: FedAvgAggregation,
     TopologyWeightedAggregation.name: TopologyWeightedAggregation,
     TrimmedMeanAggregation.name: TrimmedMeanAggregation,
+    FedAdamAggregation.name: FedAdamAggregation,
 }
 
 

@@ -3,19 +3,20 @@
 The federated training loop is backend-agnostic: every round the trainer
 hands the selected participants to an :class:`ExecutionBackend`, which runs
 their local epochs and returns one mean training loss per participant.  All
-backends leave each client's model weights, optimizer moments and dropout RNG
-in exactly the state serial execution would produce, so aggregation, history
-and evaluation are backend-independent (equivalence-tested in
+backends leave each participant's observable training trajectory (losses,
+weights, evaluation) exactly where serial execution would, so aggregation,
+history and evaluation are backend-independent (equivalence-tested in
 ``tests/test_engine.py``).
 
 Built-ins:
 
 * :class:`SerialBackend` — the reference ``for client in participants`` loop;
-* :class:`ProcessPoolBackend` — ships each (picklable) client to a worker
-  process, trains it there and restores the updated weights / optimizer /
-  RNG state into the in-process client.  This generalises the Step-2-only
-  pool of ``core/adafgl.py`` to Step-1 federated training and the FGL
-  baselines;
+* :class:`ProcessPoolBackend` — **persistent workers with resident clients**:
+  each worker receives its sharded clients once (bootstrap), keeps their
+  optimizer moments and RNG streams resident for the whole run, and per round
+  exchanges only broadcast weights down / lossless parameter deltas up (see
+  :mod:`~repro.federated.engine.persistent`).  Workers may fuse their
+  resident shard through the batched engine (``intra_worker="auto"``);
 * :class:`~repro.federated.engine.batched.BatchedBackend` — stacks
   homogeneous-architecture clients into one batched autograd graph
   (registered lazily to avoid import cycles).
@@ -24,15 +25,24 @@ Built-ins:
 from __future__ import annotations
 
 import copy
+import inspect
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+import pickle
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
+from repro.federated.communication import CommunicationTracker
+from repro.federated.engine.persistent import (
+    PersistentWorkerPool,
+    WorkerError,
+    apply_state_delta,
+    encode_state_delta,
+)
+
 
 # ----------------------------------------------------------------------
-# Client state snapshots (used to round-trip training through a worker)
+# Client state snapshots (used to move training state across processes)
 # ----------------------------------------------------------------------
 def _iter_submodules(module):
     yield module
@@ -50,33 +60,50 @@ def _module_rngs(model) -> List[np.random.Generator]:
     return rngs
 
 
-def snapshot_client_state(client) -> Dict:
-    """Everything local training mutates: weights, optimizer, RNG streams."""
+def snapshot_client_state(client, include_weights: bool = True) -> Dict:
+    """Everything local training mutates: weights, optimizer, RNG streams.
+
+    ``include_weights=False`` snapshots only the optimizer moments and RNG
+    streams — the payload the persistent pool's eviction / close-time sync
+    actually consumes (the coordinator mirror already holds newer weights),
+    keeping the dominant share of the state off the pipe.
+    """
     optimizer_state = {
         key: copy.deepcopy(value)
         for key, value in client.optimizer.__dict__.items()
         if key != "parameters"
     }
-    return {
-        "weights": client.get_weights(),
+    snapshot = {
         "optimizer": optimizer_state,
         "rng_states": [rng.bit_generator.state
                        for rng in _module_rngs(client.model)],
     }
+    if include_weights:
+        snapshot["weights"] = client.get_weights()
+    return snapshot
 
 
-def restore_client_state(client, snapshot: Dict) -> None:
-    """Apply a :func:`snapshot_client_state` payload to an in-process client."""
-    client.set_weights(snapshot["weights"])
+def restore_client_state(client, snapshot: Dict,
+                         include_weights: bool = True) -> None:
+    """Apply a :func:`snapshot_client_state` payload to an in-process client.
+
+    ``include_weights=False`` restores only the *worker-owned* mutable state
+    (optimizer moments and RNG streams) — used when the coordinator's mirror
+    already holds newer weights than the snapshot (e.g. a post-round
+    broadcast landed after the snapshot was taken).
+    """
+    if include_weights:
+        client.set_weights(snapshot["weights"])
     client.optimizer.__dict__.update(snapshot["optimizer"])
     for rng, state in zip(_module_rngs(client.model), snapshot["rng_states"]):
         rng.bit_generator.state = state
 
 
-def _train_client_in_worker(client) -> Tuple[float, Dict]:
-    """Worker entry point: run one client's local epochs, ship state back."""
-    loss = client.local_train()
-    return loss, snapshot_client_state(client)
+def _states_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    """Bitwise equality of two weight state dicts."""
+    if a.keys() != b.keys():
+        return False
+    return all(np.array_equal(a[key], b[key]) for key in a)
 
 
 # ----------------------------------------------------------------------
@@ -86,6 +113,8 @@ class ExecutionBackend:
     """Drives the local-training phase of each federated round."""
 
     name = "base"
+
+    trainer = None
 
     def bind(self, trainer) -> None:
         """Attach to the owning trainer (called once, before any round)."""
@@ -109,51 +138,243 @@ class SerialBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Per-client local training in a pool of worker processes.
+    """Persistent-worker local training: resident clients, delta-only IPC.
 
-    Clients are embarrassingly parallel within a round — their RNG streams
-    and optimizer moments are private — so each picklable client is trained
-    in a worker and its mutated state (weights, optimizer moments, dropout
-    RNGs) is restored into the in-process object, reconstructing the serial
-    result exactly.  Clients carrying a non-picklable ``extra_loss`` closure
-    (e.g. FedGL's pseudo-label term) fall back to in-process training.
+    Clients are sharded deterministically over the workers
+    (``client_id % num_workers``) and each picklable client is shipped to its
+    owning worker exactly once.  The worker keeps the authoritative optimizer
+    moments and RNG streams for the whole run; every round the coordinator
+    sends the participant's current weights down and receives ``(loss,
+    lossless bit-pattern parameter delta, message stats)`` back, so the
+    in-process mirror reconstructs the worker's weights bit for bit.
+
+    ``intra_worker`` selects how a worker trains its resident shard:
+    ``"serial"`` uses the per-client reference loop, making the training
+    history **bitwise-identical** to serial execution;
+    ``"auto"``/``"batched"`` (the default) fuse the shard into one autograd
+    graph via the batched engine when possible (falling back to the
+    per-client loop), inheriting that engine's equivalence guarantee —
+    histories match serial within the batched tolerance (identical in
+    practice at benchmark scale, see ``BENCH_step1.json``; low-order float
+    bits may differ on fused shards).
+
+    Clients carrying a non-picklable ``extra_loss`` closure (e.g. FedGL's
+    pseudo-label term) stay coordinator-resident and train in-process; a
+    client whose hook appears *mid-run* is evicted from its worker first
+    (optimizer + RNG state pulled back), so the serial history is still
+    reconstructed exactly.
+
+    Simulator IPC volume is tracked separately from the logical federated
+    traffic in :attr:`transport` (kinds: ``bootstrap_payload``,
+    ``broadcast_weights``, ``parameter_delta``; float-value units, bootstrap
+    counted as pickled bytes / 8).
     """
 
     name = "process_pool"
 
-    def __init__(self, num_workers: Optional[int] = None):
+    def __init__(self, num_workers: Optional[int] = None,
+                 intra_worker: str = "auto", **_unused):
+        if intra_worker not in ("auto", "batched", "serial"):
+            raise ValueError(
+                "intra_worker must be 'auto', 'batched' or 'serial', "
+                f"got {intra_worker!r}")
         self.num_workers = num_workers
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.intra_worker = intra_worker
+        self.transport = CommunicationTracker()
+        self._pool: Optional[PersistentWorkerPool] = None
+        self._owner: Dict[int, int] = {}   # client_id → owning worker
+        self._local: Set[int] = set()      # coordinator-resident client ids
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            workers = self.num_workers or os.cpu_count() or 1
-            self._pool = ProcessPoolExecutor(max_workers=max(1, workers))
+    # ------------------------------------------------------------------
+    def _worker_count(self) -> int:
+        return max(1, self.num_workers or os.cpu_count() or 1)
+
+    def ensure_pool(self) -> PersistentWorkerPool:
+        """Spawn (or respawn after ``close``) the persistent worker team."""
+        if self._pool is None or self._pool.closed:
+            self._pool = PersistentWorkerPool(self._worker_count())
+            self._owner.clear()
+            self._local.clear()
         return self._pool
 
+    def owner_of(self, client_id: int) -> Optional[int]:
+        """Worker index holding this client resident (None if in-process)."""
+        return self._owner.get(client_id)
+
+    # ------------------------------------------------------------------
+    def _bootstrap(self, clients: Sequence) -> List:
+        """Ship not-yet-resident clients to their owners; return the pooled.
+
+        Pickles each new client once; unpicklable clients become
+        coordinator-resident.  Returns the subset of ``clients`` that is
+        worker-resident after the call.
+        """
+        pool = self._pool
+        batches: Dict[int, List] = {}
+        pooled = []
+        for client in clients:
+            cid = client.client_id
+            if cid in self._owner:
+                pooled.append(client)
+                continue
+            try:
+                blob = pickle.dumps(client,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self._local.add(cid)
+                continue
+            worker = cid % pool.num_workers
+            batches.setdefault(worker, []).append((cid, blob))
+            self._owner[cid] = worker
+            self.transport.record_download("bootstrap_payload",
+                                           len(blob) / 8.0)
+            pooled.append(client)
+        for worker, batch in batches.items():
+            pool.send(worker, "adopt", batch)
+        for worker in batches:
+            pool.recv(worker)
+        return pooled
+
+    def _evict(self, client) -> None:
+        """Move a worker-resident client back in-process (exactly).
+
+        The mirror's weights are newer than the worker's (they include the
+        last broadcast), so only the worker-owned optimizer moments and RNG
+        streams are adopted.
+        """
+        worker = self._owner.pop(client.client_id)
+        snapshot = self._pool.call(worker, "fetch",
+                                   (client.client_id, True, False))
+        restore_client_state(client, snapshot, include_weights=False)
+        self._local.add(client.client_id)
+
+    # ------------------------------------------------------------------
     def run_local_training(self, participants):
-        poolable = [c for c in participants if c.extra_loss is None]
-        losses: Dict[int, float] = {}
-        if len(poolable) > 1:
-            results = self._ensure_pool().map(_train_client_in_worker,
-                                              poolable)
-            for client, (loss, snapshot) in zip(poolable, results):
-                restore_client_state(client, snapshot)
-                losses[client.client_id] = loss
+        if self._pool is None and len(participants) < 2:
+            # Zero-IPC round; still advance the transport tracker so the
+            # per-round IPC series stays aligned with federated rounds.
+            self.transport.next_round()
+            return [client.local_train() for client in participants]
+
+        local_side, candidates = [], []
         for client in participants:
-            if client.client_id not in losses:
-                losses[client.client_id] = client.local_train()
+            cid = client.client_id
+            if cid in self._local:
+                local_side.append(client)
+            elif client.extra_loss is not None:
+                if cid in self._owner:
+                    # _owner is only populated while a pool is alive.
+                    self._evict(client)
+                else:
+                    self._local.add(cid)
+                local_side.append(client)
+            else:
+                candidates.append(client)
+        if not candidates:
+            # Nothing poolable (e.g. FedGL hooks every client): train
+            # in-process without ever spawning workers (zero-IPC round).
+            self.transport.next_round()
+            return [client.local_train() for client in participants]
+        self.ensure_pool()
+        pooled = self._bootstrap(candidates)
+        pooled_ids = {client.client_id for client in pooled}
+        local_side.extend(c for c in candidates
+                          if c.client_id not in pooled_ids)
+
+        pool = self._pool
+        groups: Dict[int, List[int]] = {}
+        mirrors = {c.client_id: c for c in participants}
+        unique: List[Dict[str, np.ndarray]] = []
+        assign: Dict[int, int] = {}
+        sent: Dict[int, Dict[str, np.ndarray]] = {}
+        for client in pooled:
+            cid = client.client_id
+            groups.setdefault(self._owner[cid], []).append(cid)
+            state = client.get_weights()
+            # Broadcast dedup: after plain FedAvg every participant holds
+            # the identical global state (one unique entry, one comparison
+            # per client); clustered personalization (e.g. GCFL+) dedups to
+            # one entry per cluster.  array_equal exits on the first
+            # differing element, so the all-distinct worst case stays cheap.
+            for index, candidate in enumerate(unique):
+                if _states_equal(candidate, state):
+                    assign[cid] = index
+                    sent[cid] = candidate
+                    break
+            else:
+                unique.append(state)
+                assign[cid] = len(unique) - 1
+                sent[cid] = state
+        for worker, ids in groups.items():
+            used = sorted({assign[cid] for cid in ids})
+            local_index = {u: i for i, u in enumerate(used)}
+            pool.send(worker, "train",
+                      (ids, [unique[u] for u in used],
+                       {cid: local_index[assign[cid]] for cid in ids},
+                       self.intra_worker))
+            self.transport.record_download(
+                "broadcast_weights",
+                sum(v.size for u in used for v in unique[u].values()))
+
+        # Coordinator-resident clients train while the workers run.
+        losses: Dict[int, float] = {}
+        for client in local_side:
+            losses[client.client_id] = client.local_train()
+
+        for worker, ids in groups.items():
+            worker_losses, deltas, stats = pool.recv(worker)
+            for cid in ids:
+                mirrors[cid].set_weights(
+                    apply_state_delta(sent[cid], deltas[cid]))
+                losses[cid] = worker_losses[cid]
+            self.transport.record_upload("parameter_delta",
+                                         stats["delta_values"])
+        self.transport.next_round()
         return [losses[client.client_id] for client in participants]
 
+    # ------------------------------------------------------------------
+    def _sync_worker_state(self) -> None:
+        """Pull optimizer/RNG state of every resident back into the mirrors.
+
+        Called on close so the in-process clients end the run in exactly the
+        state serial training would leave them in (weights are already exact
+        round by round; moments and RNG streams lived worker-side).
+        """
+        trainer = self.trainer
+        if trainer is None or self._pool is None \
+                or not self._pool.safe_for_sync:
+            # A failed command — or a coordinator-side abort with replies
+            # still in flight — means a fetch_all now could consume a stale
+            # train reply as its own result and mask the original error.
+            # Skip the best-effort sync entirely.
+            return
+        mirrors = {c.client_id: c for c in trainer.clients}
+        for worker in range(self._pool.num_workers):
+            try:
+                snapshots = self._pool.call(worker, "fetch_all", False)
+                for cid, snapshot in snapshots.items():
+                    client = mirrors.get(cid)
+                    if client is not None:
+                        restore_client_state(client, snapshot,
+                                             include_weights=False)
+            except (WorkerError, OSError, EOFError):
+                continue
+
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        if self._pool is not None and not self._pool.closed:
+            try:
+                self._sync_worker_state()
+            finally:
+                self._pool.shutdown()
+        self._pool = None
+        self._owner.clear()
+        self._local.clear()
 
 
-#: name → factory accepting ``num_workers`` for every built-in backend.
+#: name → factory for every built-in backend; factories accept (and may
+#: ignore) the shared keyword knobs ``num_workers`` / ``intra_worker``.
 BACKEND_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {
-    SerialBackend.name: lambda num_workers=None: SerialBackend(),
+    SerialBackend.name: lambda num_workers=None, **_: SerialBackend(),
     ProcessPoolBackend.name: ProcessPoolBackend,
 }
 
@@ -170,8 +391,15 @@ def list_backends() -> List[str]:
 
 
 def make_backend(spec: Union[str, ExecutionBackend, None],
-                 num_workers: Optional[int] = None) -> ExecutionBackend:
-    """Resolve a backend from a registry name or pass an instance through."""
+                 num_workers: Optional[int] = None,
+                 **options) -> ExecutionBackend:
+    """Resolve a backend from a registry name or pass an instance through.
+
+    Extra keyword ``options`` (e.g. ``intra_worker``) are forwarded to the
+    factory; knobs a factory's signature does not accept are dropped, so
+    externally registered factories with the historical ``num_workers``-only
+    signature keep working.
+    """
     if spec is None:
         return SerialBackend()
     if isinstance(spec, ExecutionBackend):
@@ -181,4 +409,14 @@ def make_backend(spec: Union[str, ExecutionBackend, None],
         raise KeyError(
             f"unknown execution backend '{spec}'; "
             f"available: {', '.join(list_backends())}")
-    return BACKEND_REGISTRY[key](num_workers=num_workers)
+    factory = BACKEND_REGISTRY[key]
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins without introspection
+        parameters = None
+    if parameters is not None and not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()):
+        options = {name: value for name, value in options.items()
+                   if name in parameters}
+    return factory(num_workers=num_workers, **options)

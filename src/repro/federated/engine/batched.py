@@ -15,72 +15,54 @@ graphs are structurally identical and can be fused:
   advances every client (with per-client bias-correction step counts, so
   partial participation stays exact).
 
+Two model families are fused today, dispatched by model type:
+
+* **GCN** (:class:`_BatchedGCNPlan`) — the full per-epoch pipeline:
+  block-diagonal propagation, stacked linear layers, per-client dropout
+  streams drawn in serial order;
+* **SGC / propagation family** (:class:`_BatchedSGCPlan`) — the ``k``
+  propagation hops act on *constant* features with a *constant* operator, so
+  they are precomputed once per plan (k calls to ``spmm_batched`` at build
+  time) and every local epoch collapses to one stacked linear layer over the
+  cached ``(B, n_max, f)`` block.
+
 Numerical behaviour mirrors serial execution: dropout masks are drawn from
 each client's own RNG stream in serial order, gradients are clipped per
 client with the same global-norm rule, and losses are the per-client
-cross-entropy means.  Clients the backend cannot batch (non-GCN models,
+cross-entropy means.  Clients the backend cannot batch (unsupported models,
 ``extra_loss`` hooks, heterogeneous shapes) transparently fall back to serial
 training; the most recent reason is kept in :attr:`BatchedBackend.last_fallback`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.autograd import Tensor, functional as F
+from repro.autograd import Tensor, functional as F, no_grad
 from repro.federated.engine.backends import (
     ExecutionBackend,
     register_backend,
 )
 from repro.models.base import prepare_propagation
-from repro.models.gcn import GCN
+from repro.models.gcn import GCN, SGC
 from repro.optim import Adam
 
 
-def _batchable(client) -> Optional[str]:
-    """Return None if the client can join a batched group, else the reason."""
-    if client.extra_loss is not None:
-        return "client has a method-specific extra_loss hook"
-    if not isinstance(client.model, GCN):
-        return f"model {type(client.model).__name__} is not a batched-GCN"
-    if not isinstance(client.optimizer, Adam):
-        return f"optimizer {type(client.optimizer).__name__} is not Adam"
-    return None
+class _BatchedPlan:
+    """Constant per-group data shared by every batched model family.
 
-
-def _homogeneous(clients: Sequence) -> bool:
-    """All clients share layer shapes, dropout rate and optimizer settings."""
-    reference = clients[0]
-    ref_shapes = {name: p.shape
-                  for name, p in reference.model.named_parameters()}
-    ref_opt = reference.optimizer
-    for client in clients[1:]:
-        shapes = {name: p.shape for name, p in client.model.named_parameters()}
-        if shapes != ref_shapes:
-            return False
-        if client.model.dropout.p != reference.model.dropout.p:
-            return False
-        opt = client.optimizer
-        if (opt.lr, opt.weight_decay, opt.beta1, opt.beta2, opt.eps) != \
-                (ref_opt.lr, ref_opt.weight_decay, ref_opt.beta1,
-                 ref_opt.beta2, ref_opt.eps):
-            return False
-        if client.local_epochs != reference.local_epochs:
-            return False
-    return True
-
-
-class _BatchedGCNPlan:
-    """Constant per-group data: padded features, block-diagonal operator."""
+    Owns the padded feature block, the block-diagonal propagation operator,
+    the flat supervision indices that fuse every client's cross-entropy into
+    one autograd path, and the stacked-Adam machinery.  Subclasses declare
+    ``param_names`` (layer parameter names in optimizer order) and implement
+    :meth:`_forward`.
+    """
 
     def __init__(self, clients: Sequence):
         self.clients = list(clients)
-        model = clients[0].model
-        self.layer_names = list(model._layer_names)
-        self.dropout_p = model.dropout.p
         self.sizes = [c.graph.num_nodes for c in clients]
         self.n_max = max(self.sizes)
         batch = len(clients)
@@ -125,14 +107,20 @@ class _BatchedGCNPlan:
             (np.concatenate(vals),
              (np.concatenate(rows), np.concatenate(cols))),
             shape=(total, total))
-        self.propagation_t = self.propagation.T.tocsr()
         # Stable references into every client's parameters and graph-constant
         # metadata; re-read each round, but resolved only once.
         self._client_params = [dict(c.model.named_parameters())
                                for c in clients]
-        # Layer parameter names in optimizer order: convN.weight, convN.bias.
-        self.param_names: List[Tuple[str, str]] = [
-            (f"{name}.weight", f"{name}.bias") for name in self.layer_names]
+        # Layer parameter names in optimizer order, declared by the subclass:
+        # e.g. [("conv0.weight", "conv0.bias"), ("conv1.weight", ...)].
+        self.param_names: List[Tuple[str, str]] = self._layer_param_names()
+
+    # -- family hooks --------------------------------------------------
+    def _layer_param_names(self) -> List[Tuple[str, str]]:
+        raise NotImplementedError
+
+    def _forward(self, weights, biases) -> Tensor:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     def _stack_states(self):
@@ -162,30 +150,6 @@ class _BatchedGCNPlan:
         steps = np.array([c.optimizer._step_count for c in self.clients],
                          dtype=np.float64)
         return weights, biases, moments_m, moments_v, steps
-
-    def _dropout_mask(self, width: int) -> np.ndarray:
-        """One inverted-dropout mask per client, drawn from its own stream."""
-        p = self.dropout_p
-        mask = np.zeros((len(self.clients), self.n_max, width))
-        for index, client in enumerate(self.clients):
-            n = self.sizes[index]
-            draw = client.model.dropout._rng.random((n, width))
-            mask[index, :n] = (draw >= p) / (1.0 - p)
-        return mask
-
-    def _forward(self, weights, biases) -> Tensor:
-        hidden = self.features
-        last = len(self.layer_names) - 1
-        for layer in range(len(self.layer_names)):
-            hidden = F.spmm_batched(self.propagation, hidden,
-                                    adjacency_t=self.propagation_t)
-            hidden = hidden.matmul(weights[layer]) + biases[layer]
-            if layer != last:
-                hidden = hidden.relu()
-                if self.dropout_p > 0.0:
-                    hidden = hidden * Tensor(
-                        self._dropout_mask(hidden.shape[-1]))
-        return hidden
 
     # ------------------------------------------------------------------
     def run_round(self, max_grad_norm: float = 5.0) -> List[float]:
@@ -264,6 +228,129 @@ class _BatchedGCNPlan:
                 opt._v[j] = v[index].reshape(target_shape).copy()
 
 
+class _BatchedGCNPlan(_BatchedPlan):
+    """GCN family: propagate + stacked linear + relu/dropout per layer."""
+
+    def __init__(self, clients: Sequence):
+        model = clients[0].model
+        self.layer_names = list(model._layer_names)
+        self.dropout_p = model.dropout.p
+        super().__init__(clients)
+        # Only the GCN forward back-propagates through spmm_batched; the
+        # SGC family never needs the transposed operator.
+        self.propagation_t = self.propagation.T.tocsr()
+
+    def _layer_param_names(self):
+        return [(f"{name}.weight", f"{name}.bias")
+                for name in self.layer_names]
+
+    def _dropout_mask(self, width: int) -> np.ndarray:
+        """One inverted-dropout mask per client, drawn from its own stream."""
+        p = self.dropout_p
+        mask = np.zeros((len(self.clients), self.n_max, width))
+        for index, client in enumerate(self.clients):
+            n = self.sizes[index]
+            draw = client.model.dropout._rng.random((n, width))
+            mask[index, :n] = (draw >= p) / (1.0 - p)
+        return mask
+
+    def _forward(self, weights, biases) -> Tensor:
+        hidden = self.features
+        last = len(self.layer_names) - 1
+        for layer in range(len(self.layer_names)):
+            hidden = F.spmm_batched(self.propagation, hidden,
+                                    adjacency_t=self.propagation_t)
+            hidden = hidden.matmul(weights[layer]) + biases[layer]
+            if layer != last:
+                hidden = hidden.relu()
+                if self.dropout_p > 0.0:
+                    hidden = hidden * Tensor(
+                        self._dropout_mask(hidden.shape[-1]))
+        return hidden
+
+
+class _BatchedSGCPlan(_BatchedPlan):
+    """SGC / propagation family: constant k-hop block + one stacked linear.
+
+    SGC's forward is ``linear(P^k X)`` where both ``P`` and ``X`` are fixed
+    for the whole run, so the ``k`` sparse hops are hoisted out of the epoch
+    loop entirely: at plan-build time the padded feature block is pushed
+    through the block-diagonal operator ``k`` times (the same
+    ``spmm_batched`` kernel, hence bitwise-identical hop results), and every
+    local epoch is a single ``(B, n, f) @ (B, f, c)`` matmul plus bias.
+    """
+
+    def __init__(self, clients: Sequence):
+        self.k = clients[0].model.k
+        super().__init__(clients)
+        with no_grad():
+            hidden = self.features
+            for _ in range(self.k):
+                hidden = F.spmm_batched(self.propagation, hidden)
+        self.propagated = Tensor(hidden.data)
+
+    def _layer_param_names(self):
+        return [("linear.weight", "linear.bias")]
+
+    def _forward(self, weights, biases) -> Tensor:
+        return self.propagated.matmul(weights[0]) + biases[0]
+
+
+#: model type → batched plan family (extension point for new families).
+PLAN_FAMILIES: List[Tuple[type, Type[_BatchedPlan]]] = [
+    (GCN, _BatchedGCNPlan),
+    (SGC, _BatchedSGCPlan),
+]
+
+
+def _plan_family(client) -> Optional[Type[_BatchedPlan]]:
+    for model_type, plan_cls in PLAN_FAMILIES:
+        if type(client.model) is model_type:
+            return plan_cls
+    return None
+
+
+def _batchable(client) -> Optional[str]:
+    """Return None if the client can join a batched group, else the reason."""
+    if client.extra_loss is not None:
+        return "client has a method-specific extra_loss hook"
+    if _plan_family(client) is None:
+        return (f"model {type(client.model).__name__} has no batched plan "
+                f"family")
+    if not isinstance(client.optimizer, Adam):
+        return f"optimizer {type(client.optimizer).__name__} is not Adam"
+    return None
+
+
+def _homogeneous(clients: Sequence) -> bool:
+    """All clients share layer shapes, dropout rate and optimizer settings."""
+    reference = clients[0]
+    family = _plan_family(reference)
+    ref_shapes = {name: p.shape
+                  for name, p in reference.model.named_parameters()}
+    ref_opt = reference.optimizer
+    for client in clients[1:]:
+        if _plan_family(client) is not family:
+            return False
+        shapes = {name: p.shape for name, p in client.model.named_parameters()}
+        if shapes != ref_shapes:
+            return False
+        if family is _BatchedGCNPlan and \
+                client.model.dropout.p != reference.model.dropout.p:
+            return False
+        if family is _BatchedSGCPlan and \
+                client.model.k != reference.model.k:
+            return False
+        opt = client.optimizer
+        if (opt.lr, opt.weight_decay, opt.beta1, opt.beta2, opt.eps) != \
+                (ref_opt.lr, ref_opt.weight_decay, ref_opt.beta1,
+                 ref_opt.beta2, ref_opt.eps):
+            return False
+        if client.local_epochs != reference.local_epochs:
+            return False
+    return True
+
+
 class BatchedBackend(ExecutionBackend):
     """Vectorises homogeneous-architecture clients into one batched graph."""
 
@@ -272,9 +359,11 @@ class BatchedBackend(ExecutionBackend):
     #: bounded cache of plans keyed by the participant-id tuple
     _MAX_PLANS = 8
 
-    def __init__(self, num_workers: Optional[int] = None):
+    def __init__(self, num_workers: Optional[int] = None, **_unused):
         del num_workers  # signature parity with the other backends
-        self._plans: Dict[Tuple[int, ...], _BatchedGCNPlan] = {}
+        #: participant-id tuple → built plan, or the construction-failure
+        #: reason (a str) so a doomed group is not rebuilt every round
+        self._plans: Dict[Tuple[int, ...], Union[_BatchedPlan, str]] = {}
         self.last_fallback: Optional[str] = None
 
     def _serial(self, participants) -> List[float]:
@@ -295,10 +384,21 @@ class BatchedBackend(ExecutionBackend):
         self.last_fallback = None
         key = tuple(client.client_id for client in participants)
         plan = self._plans.get(key)
+        if isinstance(plan, str):
+            # Construction already failed for this group (e.g. a client
+            # without labelled train nodes) — that cannot change within a
+            # run, so skip straight to serial training.
+            self.last_fallback = plan
+            return self._serial(participants)
         if plan is None:
             if len(self._plans) >= self._MAX_PLANS:
                 self._plans.clear()
-            plan = _BatchedGCNPlan(participants)
+            try:
+                plan = _plan_family(participants[0])(participants)
+            except ValueError as error:
+                self.last_fallback = str(error)
+                self._plans[key] = str(error)
+                return self._serial(participants)
             self._plans[key] = plan
         return plan.run_round()
 

@@ -1,0 +1,331 @@
+"""Persistent worker processes with resident clients and delta-only IPC.
+
+The first-generation process pool shipped *whole clients* — graph, features,
+CSR P̃, optimizer state — across the process boundary every round, which made
+it slower than serial training.  Real FGL systems never do that: client state
+stays where it lives and only model parameters move.  This module implements
+that communication model for the simulator:
+
+* :class:`PersistentWorkerPool` — a fixed set of worker processes, each
+  driven through its own duplex pipe by a tiny command loop.  Workers are
+  daemonic (they can never outlive the coordinator) and the pool registers a
+  ``weakref.finalize`` hook so abandoned pools are reclaimed at GC time.
+* **Worker-resident clients** — a client is pickled to its owning worker
+  exactly once (the bootstrap round).  From then on the worker keeps the
+  authoritative optimizer moments and RNG streams; the coordinator keeps a
+  weight-only mirror for aggregation and evaluation.
+* **Delta-only rounds** — each round the coordinator sends the participant's
+  current (post-broadcast) weights down and receives ``(loss,
+  parameter-delta, message-stats)`` back.  Deltas are taken on the raw
+  IEEE-754 bit patterns (wrap-around ``uint64`` differences), so the
+  coordinator-side reconstruction ``received ⊕ delta`` is *lossless*: the
+  mirror ends the round bitwise-identical to the worker copy, and therefore
+  to serial training.  A float delta (``trained - received``) would lose low
+  bits to rounding and break the bitwise-parity contract.
+* **Worker-side fusion** — a worker may train its resident shard through the
+  :class:`~repro.federated.engine.batched.BatchedBackend` (one autograd graph
+  per shard), so the pool speeds training up even on machines where true
+  process parallelism is unavailable.
+
+The pool is generic: besides the built-in Step-1 ``train`` command it can
+``call`` any module-level function against the worker's resident-client
+registry, which is how AdaFGL Step 2 reuses the same workers (and their
+already-resident subgraphs) for personalized training.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import traceback
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Lossless bit-pattern weight deltas
+# ----------------------------------------------------------------------
+def encode_state_delta(trained: StateDict, received: StateDict
+                       ) -> Dict[str, np.ndarray]:
+    """Per-parameter wrap-around difference of the IEEE-754 bit patterns.
+
+    ``apply_state_delta(received, delta)`` reconstructs ``trained`` exactly
+    (bit for bit); a plain float difference would not, because
+    ``a + (b - a)`` rounds.  The payload is one 8-byte word per parameter —
+    the same volume as shipping the weights, but in a form that the
+    communication accounting can attribute to *updates* rather than state.
+    """
+    delta = {}
+    for key, new in trained.items():
+        old = np.ascontiguousarray(received[key], dtype=np.float64)
+        new = np.ascontiguousarray(new, dtype=np.float64)
+        delta[key] = new.view(np.uint64) - old.view(np.uint64)
+    return delta
+
+
+def apply_state_delta(received: StateDict, delta: Dict[str, np.ndarray]
+                      ) -> StateDict:
+    """Invert :func:`encode_state_delta`: lossless weight reconstruction."""
+    state = {}
+    for key, bits in delta.items():
+        old = np.ascontiguousarray(received[key], dtype=np.float64)
+        state[key] = (old.view(np.uint64) + bits).view(np.float64).copy()
+    return state
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _train_shard(residents: Dict[int, object], intra_backend,
+                 client_ids: Sequence[int], states: Sequence[StateDict],
+                 assign: Dict[int, int], intra_worker: str
+                 ) -> Tuple[Dict[int, float], Dict[int, Dict], Dict]:
+    """Worker-side round: load broadcast weights, train the shard, diff.
+
+    ``states``/``assign`` carry the *deduplicated* broadcast: after plain
+    FedAvg every participant receives the identical global state, so the
+    coordinator ships each distinct state dict once and maps client ids onto
+    it (personalized strategies simply ship more distinct states).
+
+    ``intra_worker`` selects how the resident shard runs its local epochs:
+    ``"serial"`` is the reference per-client loop; ``"auto"``/``"batched"``
+    route the shard through ``intra_backend``, the worker's long-lived
+    :class:`~repro.federated.engine.batched.BatchedBackend` (which itself
+    falls back to the serial loop whenever the shard cannot be fused, and
+    whose plan cache persists across rounds).
+    """
+    shard = [residents[cid] for cid in client_ids]
+    received = {}
+    for client in shard:
+        received[client.client_id] = states[assign[client.client_id]]
+        client.set_weights(received[client.client_id])
+
+    if intra_worker == "serial" or len(shard) < 2:
+        mode = "serial"
+        loss_list = [client.local_train() for client in shard]
+    else:
+        loss_list = intra_backend.run_local_training(shard)
+        mode = "batched" if intra_backend.last_fallback is None \
+            else f"serial ({intra_backend.last_fallback})"
+
+    losses, deltas, delta_values = {}, {}, 0
+    for client in shard:
+        cid = client.client_id
+        deltas[cid] = encode_state_delta(client.get_weights(), received[cid])
+        delta_values += sum(v.size for v in deltas[cid].values())
+    for client, loss in zip(shard, loss_list):
+        losses[client.client_id] = loss
+    stats = {"mode": mode, "delta_values": delta_values,
+             "clients": len(shard)}
+    return losses, deltas, stats
+
+
+def _worker_loop(conn) -> None:
+    """Command loop run inside every worker process.
+
+    Residents (``client_id → Client``) live in a local dict for the whole
+    process lifetime; commands mutate it in place.  Every command returns
+    ``("ok", result)`` or ``("error", formatted traceback)`` so the
+    coordinator can re-raise with worker context.
+    """
+    residents: Dict = {}
+    intra_backend = None  # built lazily, plan cache lives for the process
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if command == "stop":
+                conn.send(("ok", None))
+                break
+            elif command == "adopt":
+                for cid, blob in payload:
+                    residents[cid] = pickle.loads(blob)
+                result = None
+            elif command == "train":
+                if intra_backend is None:
+                    from repro.federated.engine.batched import BatchedBackend
+                    intra_backend = BatchedBackend()
+                result = _train_shard(residents, intra_backend, *payload)
+            elif command == "fetch":
+                # Mutable state of one resident — eviction pulls only the
+                # worker-owned optimizer moments and RNG streams.
+                from repro.federated.engine.backends import (
+                    snapshot_client_state)
+                cid, drop, with_weights = payload
+                result = snapshot_client_state(residents[cid],
+                                               include_weights=with_weights)
+                if drop:
+                    del residents[cid]
+            elif command == "fetch_all":
+                from repro.federated.engine.backends import (
+                    snapshot_client_state)
+                result = {cid: snapshot_client_state(
+                              client, include_weights=payload)
+                          for cid, client in residents.items()}
+            elif command == "call":
+                # Generic escape hatch: run a module-level function against
+                # the resident registry (how AdaFGL Step 2 rides the pool).
+                func, args = payload
+                result = func(residents, *args)
+            else:
+                raise ValueError(f"unknown worker command '{command}'")
+            conn.send(("ok", result))
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (OSError, ValueError, TypeError):
+                break
+    conn.close()
+
+
+class WorkerError(RuntimeError):
+    """A command failed inside a worker; carries the worker traceback."""
+
+
+class PersistentWorkerPool:
+    """A fixed team of command-loop worker processes, one pipe each."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        #: set when a command failed and replies may be left queued — see
+        #: :meth:`recv`
+        self.poisoned = False
+        #: per-worker count of sent commands whose reply is still unread
+        self._inflight = [0] * num_workers
+        self._conns = []
+        self._procs = []
+        for _ in range(num_workers):
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(target=_worker_loop, args=(child,),
+                                      daemon=True)
+            process.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(process)
+        # Reclaim abandoned pools at GC time (daemon workers additionally
+        # guarantee nothing survives coordinator exit).
+        self._finalizer = weakref.finalize(
+            self, PersistentWorkerPool._reap, list(self._conns),
+            list(self._procs))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def send(self, worker: int, command: str, payload=None) -> None:
+        """Queue one command on a worker (non-blocking for small payloads)."""
+        self._conns[worker].send((command, payload))
+        self._inflight[worker] += 1
+
+    def recv(self, worker: int):
+        """Collect the next reply from a worker, re-raising worker errors.
+
+        A failed command (or a dead pipe) poisons the pool: workers may
+        still have unread replies queued, so the strict request→reply
+        pairing can no longer be trusted and best-effort operations (the
+        close-time state sync) must be skipped rather than consume a stale
+        reply.
+        """
+        try:
+            status, result = self._conns[worker].recv()
+        except BaseException:
+            self.poisoned = True
+            raise
+        self._inflight[worker] -= 1
+        if status != "ok":
+            self.poisoned = True
+            raise WorkerError(
+                f"worker {worker} failed:\n{result}")
+        return result
+
+    @property
+    def safe_for_sync(self) -> bool:
+        """True when every sent command has been answered and none failed.
+
+        The close-time state sync must not issue new commands while replies
+        are pending (a coordinator-side abort between send and recv leaves
+        them queued): the sync would read a stale ``train`` reply as its own
+        result, masking the original error with a protocol desync.
+        """
+        return not self.poisoned and not any(self._inflight)
+
+    def call(self, worker: int, command: str, payload=None):
+        self.send(worker, command, payload)
+        return self.recv(worker)
+
+    def run_batches(self, batches: Dict[int, List[Tuple[str, object]]]
+                    ) -> Dict[int, List]:
+        """Pump many queued commands through the workers, deadlock-free.
+
+        Keeps **at most one command in flight per worker**: queueing several
+        large payloads at once can fill a worker's inbound pipe while the
+        worker is itself blocked writing a large reply nobody is reading —
+        a send/send deadlock.  Here the next command for a worker is written
+        only after its previous reply has been drained (the worker is then
+        guaranteed to be parked on ``recv``), and replies are consumed as
+        soon as any connection becomes readable.
+
+        Returns per-worker result lists in the order the commands were
+        queued; worker errors re-raise with the worker traceback.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        pending = {worker: list(commands)
+                   for worker, commands in batches.items() if commands}
+        results: Dict[int, List] = {worker: [] for worker in batches}
+        worker_of = {id(self._conns[worker]): worker for worker in pending}
+        for worker in pending:
+            self.send(worker, *pending[worker].pop(0))
+        outstanding = set(pending)
+        while outstanding:
+            ready = connection_wait(
+                [self._conns[worker] for worker in outstanding])
+            for conn in ready:
+                worker = worker_of[id(conn)]
+                results[worker].append(self.recv(worker))
+                if pending[worker]:
+                    self.send(worker, *pending[worker].pop(0))
+                else:
+                    outstanding.discard(worker)
+        return results
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every worker and release the pipes (idempotent)."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    @staticmethod
+    def _reap(conns, procs) -> None:
+        for conn in conns:
+            try:
+                conn.send(("stop", None))
+            except (OSError, ValueError, BlockingIOError):
+                pass
+        # Close the parent pipe ends *before* joining: a worker still blocked
+        # writing a large unread reply (e.g. after a mid-round abort) gets a
+        # broken pipe and exits immediately instead of burning the join
+        # timeout; idle workers see EOF at their next recv.
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in procs:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()

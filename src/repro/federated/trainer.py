@@ -49,7 +49,10 @@ class FederatedConfig:
     ``backend`` selects the execution backend for local training (``serial``,
     ``process_pool`` — sized by ``num_workers`` — or ``batched``) and
     ``aggregation`` the server-side combination strategy; both accept either
-    a registry name or a ready-made instance.
+    a registry name or a ready-made instance.  ``intra_worker`` controls how
+    a persistent process-pool worker trains its resident client shard:
+    ``"auto"``/``"batched"`` fuse the shard through the batched engine when
+    possible, ``"serial"`` pins the per-client loop.
     """
 
     rounds: int = 20
@@ -61,6 +64,7 @@ class FederatedConfig:
     eval_every: int = 1
     backend: Union[str, ExecutionBackend] = "serial"
     num_workers: int = 0
+    intra_worker: str = "auto"
     aggregation: Union[str, AggregationStrategy] = "fedavg"
 
 
@@ -97,9 +101,33 @@ class FederatedTrainer:
         self.strategy: AggregationStrategy = make_aggregation(
             self.config.aggregation)
         self.backend: ExecutionBackend = make_backend(
-            self.config.backend, num_workers=self.config.num_workers)
+            self.config.backend, num_workers=self.config.num_workers,
+            intra_worker=self.config.intra_worker)
         self.backend.bind(self)
         self._context: Optional[AggregationContext] = None
+        #: when True (the default) :meth:`run` releases the backend's
+        #: resources as soon as it returns — the legacy standalone behaviour.
+        #: Entering the trainer as a context manager defers the release to
+        #: ``__exit__`` so persistent worker pools survive across phases
+        #: (e.g. AdaFGL Step 1 → Step 2) and repeated ``run`` calls.
+        self.close_backend_after_run = True
+
+    # ------------------------------------------------------------------
+    # Resource management
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down backend resources (worker pools, plans); idempotent."""
+        self.backend.close()
+
+    def __enter__(self) -> "FederatedTrainer":
+        self.close_backend_after_run = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        # Restore standalone semantics: a run() issued after the block ends
+        # must release whatever pool it respawns.
+        self.close_backend_after_run = True
+        self.close()
 
     # ------------------------------------------------------------------
     # Hooks
@@ -140,46 +168,54 @@ class FederatedTrainer:
         """Execute federated collaborative training and return the history."""
         rounds = rounds if rounds is not None else self.config.rounds
         try:
-            for round_index in range(1, rounds + 1):
-                participants = self._select_participants()
-                self._context = AggregationContext(
-                    round_index=round_index, participants=participants,
-                    trainer=self)
-                self.before_round(round_index, participants)
-
-                losses = self.backend.run_local_training(participants)
-
-                states, weights = [], []
-                for client in participants:
-                    state = client.get_weights()
-                    states.append(state)
-                    weights.append(client.num_samples)
-                    self.tracker.record_upload(
-                        "model_parameters", sum(v.size for v in state.values()))
-
-                global_state = self.aggregate(states, weights, participants)
-
-                for client in self.clients:
-                    personalized = self.personalize(client, global_state)
-                    client.set_weights(personalized)
-                    self.tracker.record_download(
-                        "model_parameters",
-                        sum(v.size for v in personalized.values()))
-                self.tracker.next_round()
-
-                self.after_round(round_index, participants)
-
-                if round_index % self.config.eval_every == 0 \
-                        or round_index == rounds:
-                    train_acc = self.evaluate("train")
-                    test_acc = self.evaluate("test")
-                    per_client = {c.client_id: c.evaluate("test")
-                                  for c in self.clients}
-                    self.history.record(round_index, train_acc, test_acc,
-                                        float(np.mean(losses)), per_client)
-        finally:
-            self.backend.close()
+            self._run_rounds(rounds)
+        except BaseException:
+            # Never leak worker pools when a run dies mid-round, even when
+            # the trainer is used without a ``with`` block.
+            self.close()
+            raise
+        if self.close_backend_after_run:
+            self.close()
         return self.history
+
+    def _run_rounds(self, rounds: int) -> None:
+        for round_index in range(1, rounds + 1):
+            participants = self._select_participants()
+            self._context = AggregationContext(
+                round_index=round_index, participants=participants,
+                trainer=self)
+            self.before_round(round_index, participants)
+
+            losses = self.backend.run_local_training(participants)
+
+            states, weights = [], []
+            for client in participants:
+                state = client.get_weights()
+                states.append(state)
+                weights.append(client.num_samples)
+                self.tracker.record_upload(
+                    "model_parameters", sum(v.size for v in state.values()))
+
+            global_state = self.aggregate(states, weights, participants)
+
+            for client in self.clients:
+                personalized = self.personalize(client, global_state)
+                client.set_weights(personalized)
+                self.tracker.record_download(
+                    "model_parameters",
+                    sum(v.size for v in personalized.values()))
+            self.tracker.next_round()
+
+            self.after_round(round_index, participants)
+
+            if round_index % self.config.eval_every == 0 \
+                    or round_index == rounds:
+                train_acc = self.evaluate("train")
+                test_acc = self.evaluate("test")
+                per_client = {c.client_id: c.evaluate("test")
+                              for c in self.clients}
+                self.history.record(round_index, train_acc, test_acc,
+                                    float(np.mean(losses)), per_client)
 
     # ------------------------------------------------------------------
     # Evaluation

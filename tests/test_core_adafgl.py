@@ -273,6 +273,60 @@ class TestAdaFGLTrainer:
         assert parallel.evaluate("test") == pytest.approx(
             serial.evaluate("test"))
 
+    def test_parallel_step2_reports_identical(self, community_clients):
+        """Persistent-pool Step 2 is *bitwise* the serial Step 2.
+
+        Step 1 is pinned serial on both sides so the comparison isolates the
+        Step-2 execution path: per-client reports, HCS and the recorded
+        history must be identical, not merely close.
+        """
+        serial = AdaFGL(community_clients, FAST_CONFIG)
+        serial.run()
+        pooled = AdaFGL(community_clients, dataclasses.replace(
+            FAST_CONFIG, num_workers=2, step1_backend="serial"))
+        pooled.run()
+        for ours, theirs in zip(serial.client_reports(),
+                                pooled.client_reports()):
+            assert ours.client_id == theirs.client_id
+            assert ours.accuracy == theirs.accuracy
+            assert ours.num_test_nodes == theirs.num_test_nodes
+            assert ours.homophily == theirs.homophily
+        assert serial.client_hcs() == pooled.client_hcs()
+        np.testing.assert_array_equal(serial.history.loss,
+                                      pooled.history.loss)
+        np.testing.assert_array_equal(serial.history.test_accuracy,
+                                      pooled.history.test_accuracy)
+
+    def test_step2_reuses_step1_worker_residents(self, community_clients):
+        """Shared-pool Step 2 (worker-resident graphs) matches serial too."""
+        serial = AdaFGL(community_clients, FAST_CONFIG)
+        serial.run()
+        shared = AdaFGL(community_clients, dataclasses.replace(
+            FAST_CONFIG, num_workers=2, intra_worker="serial"))
+        backend = shared.extractor.trainer.backend
+        shared.run()
+        from repro.federated import ProcessPoolBackend
+        assert isinstance(backend, ProcessPoolBackend)
+        for ours, theirs in zip(serial.client_reports(),
+                                shared.client_reports()):
+            assert ours.accuracy == theirs.accuracy
+        np.testing.assert_array_equal(serial.history.loss,
+                                      shared.history.loss)
+        # Pipeline end released the shared pool (no leaked workers).
+        assert backend._pool is None
+
+    def test_context_manager_keeps_pool_until_exit(self, community_clients):
+        config = dataclasses.replace(FAST_CONFIG, num_workers=2,
+                                     intra_worker="serial")
+        with AdaFGL(community_clients, config) as method:
+            method.run_step1()
+            backend = method.extractor.trainer.backend
+            assert backend._pool is not None and not backend._pool.closed
+            method.run_step2()
+            # Still alive inside the context (e.g. for another step-2 pass).
+            assert backend._pool is not None and not backend._pool.closed
+        assert backend._pool is None
+
     def test_no_local_topology_uses_normalised_adjacency(self, tiny_graph):
         config = dataclasses.replace(FAST_CONFIG, use_local_topology=False)
         probs = np.full((tiny_graph.num_nodes, tiny_graph.num_classes),
@@ -281,6 +335,53 @@ class TestAdaFGLTrainer:
         dense = tiny_graph.adjacency.toarray()
         off = (dense == 0) & ~np.eye(tiny_graph.num_nodes, dtype=bool)
         assert np.abs(client.propagation[off]).max() < 1e-9
+
+
+class TestTopKResolution:
+    """Precedence of the Eq. 5 sparsity knob: explicit > registry > 32."""
+
+    def test_explicit_config_beats_registry_default(self):
+        from repro.core import resolve_propagation_top_k
+        from repro.datasets import load_dataset
+        graph = load_dataset("cora", seed=0, num_nodes=150)
+        assert graph.metadata["propagation_top_k"] == 8
+        explicit = dataclasses.replace(FAST_CONFIG, propagation_top_k=5)
+        assert resolve_propagation_top_k(explicit, graph) == 5
+        exact = dataclasses.replace(FAST_CONFIG, propagation_top_k=None)
+        assert resolve_propagation_top_k(exact, graph) is None
+
+    def test_auto_reads_registry_then_falls_back(self, tiny_graph):
+        from repro.core import (DEFAULT_PROPAGATION_TOP_K,
+                                resolve_propagation_top_k)
+        from repro.datasets import load_dataset
+        auto = dataclasses.replace(FAST_CONFIG, propagation_top_k="auto")
+        graph = load_dataset("chameleon", seed=0, num_nodes=150)
+        assert resolve_propagation_top_k(auto, graph) == 32
+        # cSBM fixtures carry no registry default → global fallback.
+        assert resolve_propagation_top_k(auto, tiny_graph) == \
+            DEFAULT_PROPAGATION_TOP_K
+        assert resolve_propagation_top_k(auto, None) == \
+            DEFAULT_PROPAGATION_TOP_K
+
+    def test_invalid_sentinel_raises(self, tiny_graph):
+        from repro.core import resolve_propagation_top_k
+        bad = dataclasses.replace(FAST_CONFIG, propagation_top_k="dense")
+        with pytest.raises(ValueError):
+            resolve_propagation_top_k(bad, tiny_graph)
+
+    def test_registry_default_shapes_the_built_matrix(self, homophilous_graph):
+        """The resolved k actually controls P̃'s sparsity on the client."""
+        import copy
+        graph = copy.deepcopy(homophilous_graph)
+        graph.metadata["propagation_top_k"] = 4
+        probs = np.full((graph.num_nodes, graph.num_classes),
+                        1.0 / graph.num_classes)
+        config = dataclasses.replace(FAST_CONFIG, sparse_propagation=True,
+                                     propagation_top_k="auto")
+        auto_client = PersonalizedClient(0, graph, probs, config)
+        explicit = dataclasses.replace(config, propagation_top_k=64)
+        wide_client = PersonalizedClient(0, graph, probs, explicit)
+        assert auto_client.propagation.nnz < wide_client.propagation.nnz
 
 
 class TestAblationVariants:

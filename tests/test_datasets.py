@@ -113,6 +113,22 @@ class TestRegistry:
         graph = load_dataset("citeseer", num_nodes=150)
         assert graph.metadata["num_classes"] == 6
 
+    def test_propagation_top_k_defaults_banded_by_homophily(self):
+        from repro.datasets.registry import DATASET_REGISTRY
+        # BENCH_topk-informed banding: homophilous graphs need few
+        # similarity entries per row, heterophilous graphs keep more.
+        assert DATASET_REGISTRY["cora"].propagation_top_k == 8
+        assert DATASET_REGISTRY["physics"].propagation_top_k == 8
+        assert DATASET_REGISTRY["penn94"].propagation_top_k == 16
+        assert DATASET_REGISTRY["chameleon"].propagation_top_k == 32
+        assert DATASET_REGISTRY["squirrel"].propagation_top_k == 32
+
+    def test_propagation_top_k_stamped_and_inherited(self):
+        graph = load_dataset("cora", num_nodes=150)
+        assert graph.metadata["propagation_top_k"] == 8
+        sub = graph.node_subgraph(np.arange(40))
+        assert sub.metadata["propagation_top_k"] == 8
+
 
 class TestSplits:
     def test_ratios_respected(self):

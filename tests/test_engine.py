@@ -18,6 +18,7 @@ from repro.federated import (
 )
 from repro.federated.engine import (
     BatchedBackend,
+    FedAdamAggregation,
     ProcessPoolBackend,
     SerialBackend,
     TopologyWeightedAggregation,
@@ -25,6 +26,7 @@ from repro.federated.engine import (
     restore_client_state,
     snapshot_client_state,
 )
+from repro.federated.engine.batched import _BatchedSGCPlan
 from repro.fgl.fedgnn import FederatedGNN, make_model_factory
 from repro.federated.trainer import FederatedTrainer
 
@@ -122,6 +124,141 @@ class TestBackendEquivalence:
         assert batched_trainer.backend.last_fallback is not None
         np.testing.assert_allclose(batched_history.loss, serial_history.loss)
         assert batched_history.test_accuracy == serial_history.test_accuracy
+
+
+class TestBatchedSGC:
+    """The SGC/propagation-family batched plan vs serial SGC."""
+
+    def test_history_matches_serial_exactly(self, community_clients):
+        serial_trainer, serial_history = _run(community_clients, "serial",
+                                              model="sgc")
+        batched_trainer, batched_history = _run(community_clients, "batched",
+                                                model="sgc")
+        assert batched_trainer.backend.last_fallback is None
+        assert batched_history.rounds == serial_history.rounds
+        np.testing.assert_array_equal(batched_history.loss,
+                                      serial_history.loss)
+        np.testing.assert_array_equal(batched_history.test_accuracy,
+                                      serial_history.test_accuracy)
+        assert batched_trainer.evaluate("test") == \
+            serial_trainer.evaluate("test")
+
+    def test_final_weights_match_serial(self, community_clients):
+        serial_trainer, _ = _run(community_clients, "serial", model="sgc")
+        batched_trainer, _ = _run(community_clients, "batched", model="sgc")
+        for a, b in zip(serial_trainer.clients, batched_trainer.clients):
+            state_a, state_b = a.get_weights(), b.get_weights()
+            for key in state_a:
+                np.testing.assert_allclose(state_a[key], state_b[key],
+                                           rtol=1e-9, atol=1e-12)
+
+    def test_khop_precompute_cached_in_plan(self, community_clients):
+        trainer = FederatedGNN(community_clients, "sgc", hidden=16,
+                               config=_config("batched"))
+        with trainer:  # keep the backend (and its plan cache) alive
+            trainer.run()
+            plans = list(trainer.backend._plans.values())
+            assert len(plans) == 1
+            assert isinstance(plans[0], _BatchedSGCPlan)
+            # The constant k-hop block exists and every epoch reuses it.
+            assert plans[0].propagated.shape[0] == len(trainer.clients)
+
+    def test_mixed_model_families_fall_back(self, community_clients):
+        # A mixed GCN/SGC participant set is not architecture-homogeneous;
+        # the backend must refuse to fuse it and train serially instead.
+        gcn_trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                                   config=_config("serial", rounds=1))
+        sgc_trainer = FederatedGNN(community_clients, "sgc", hidden=16,
+                                   config=_config("serial", rounds=1))
+        backend = BatchedBackend()
+        mixed = [gcn_trainer.clients[0], sgc_trainer.clients[1]]
+        losses = backend.run_local_training(mixed)
+        assert backend.last_fallback is not None
+        assert len(losses) == 2
+
+    def test_plan_construction_failure_is_cached(self, community_clients,
+                                                 monkeypatch):
+        from repro.federated.engine import batched as batched_module
+
+        trainer = FederatedGNN(community_clients, "gcn", hidden=16,
+                               config=_config("serial", rounds=1))
+        attempts = []
+
+        class ExplodingPlan:
+            def __init__(self, participants):
+                attempts.append(len(participants))
+                raise ValueError("cannot fuse this group")
+
+        monkeypatch.setattr(batched_module, "_plan_family",
+                            lambda client: ExplodingPlan)
+        backend = BatchedBackend()
+        key = tuple(c.client_id for c in trainer.clients)
+        backend.run_local_training(trainer.clients)
+        assert backend._plans[key] == "cannot fuse this group"
+        # Second round: the cached reason short-circuits the rebuild.
+        backend.run_local_training(trainer.clients)
+        assert attempts == [len(trainer.clients)]
+        assert backend.last_fallback == "cannot fuse this group"
+
+    def test_heterogeneous_k_falls_back(self, community_clients):
+        from repro.models import SGC
+
+        def make(k):
+            trainer = FederatedGNN(community_clients, "sgc", hidden=16,
+                                   config=_config("serial", rounds=1))
+            for client in trainer.clients:
+                client.model.k = k
+            return trainer
+        backend = BatchedBackend()
+        mixed = [make(1).clients[0], make(3).clients[1]]
+        backend.run_local_training(mixed)
+        assert backend.last_fallback is not None
+        assert isinstance(mixed[0].model, SGC)
+
+
+class TestFedAdam:
+    def test_registered(self):
+        assert "fedadam" in list_aggregations()
+        assert isinstance(make_aggregation("fedadam"), FedAdamAggregation)
+
+    def test_two_round_hand_computed_trace(self):
+        strategy = FedAdamAggregation(server_lr=0.1, beta1=0.9, beta2=0.99,
+                                      tau=1e-3)
+        # Round 1: no server model yet → adopt the FedAvg result, x₁ = 1.
+        out1 = strategy.aggregate([{"w": np.array([1.0])}], [1.0])
+        assert out1["w"][0] == pytest.approx(1.0, abs=0.0)
+        # Round 2: avg = 2 → Δ = 1, m = 0.1·1, v = 0.01·1,
+        # x₂ = 1 + 0.1 · 0.1 / (√0.01 + 1e-3).
+        out2 = strategy.aggregate([{"w": np.array([2.0])}], [1.0])
+        x2 = 1.0 + 0.1 * 0.1 / (np.sqrt(0.01) + 1e-3)
+        assert out2["w"][0] == pytest.approx(x2, rel=1e-15)
+        # Round 3: avg = 0.5 → Δ = 0.5 - x₂ and the moments accumulate.
+        out3 = strategy.aggregate([{"w": np.array([0.5])}], [1.0])
+        delta = 0.5 - x2
+        m = 0.9 * 0.1 + 0.1 * delta
+        v = 0.99 * 0.01 + 0.01 * delta * delta
+        x3 = x2 + 0.1 * m / (np.sqrt(v) + 1e-3)
+        assert out3["w"][0] == pytest.approx(x3, rel=1e-15)
+
+    def test_first_round_uses_weighted_average(self):
+        strategy = FedAdamAggregation()
+        out = strategy.aggregate([{"w": np.array([0.0])},
+                                  {"w": np.array([4.0])}], [3.0, 1.0])
+        assert out["w"][0] == pytest.approx(1.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            FedAdamAggregation(server_lr=0.0)
+        with pytest.raises(ValueError):
+            FedAdamAggregation(beta1=1.0)
+        with pytest.raises(ValueError):
+            FedAdamAggregation(tau=0.0)  # would NaN on zero pseudo-gradients
+
+    def test_end_to_end_differs_from_fedavg(self, community_clients):
+        _, fedavg_history = _run(community_clients, "serial", rounds=3)
+        _, fedadam_history = _run(community_clients, "serial", rounds=3,
+                                  aggregation="fedadam")
+        assert not np.allclose(fedavg_history.loss, fedadam_history.loss)
 
 
 class TestClientSnapshots:
