@@ -11,7 +11,13 @@ Three suites (``--suite``), each writing a JSON artifact under
   ``batched``) on a many-small-clients split, including speedups over serial
   and a loss-parity check (PR 2; the process pool is the persistent-worker
   engine since PR 3 — resident clients, delta-only IPC, intra-worker shard
-  fusion — and ``--model sgc`` exercises the batched SGC family);
+  fusion — and ``--model sgc`` exercises the batched SGC family).  Since
+  PR 4 the same artifact also carries a ``straggler`` section (pipelined
+  sync rounds under simulated heterogeneous worker speeds, with a
+  worker-utilization/straggler-wait metric), a ``step1_async`` section
+  (bounded-staleness async rounds: throughput, utilization, per-client
+  round lag, accuracy vs sync) and a ``delta_codec`` section (lossless
+  bit-delta vs lossy top-k upload transport: accuracy vs bytes);
 * ``topk`` (``BENCH_topk.json``) — accuracy-vs-k curve for
   ``propagation_top_k``, against the dense reference, to pick per-dataset
   defaults.
@@ -163,11 +169,22 @@ def run_benchmark(sizes: List[int], epochs: int = 10, step1_rounds: int = 5,
     return report
 
 
+def _timed_step1_run(graphs, model: str, hidden: int,
+                     config: FederatedConfig):
+    """Train one Step-1 federation; return (trainer, history, rounds/sec)."""
+    trainer = FederatedGNN(graphs, model, hidden=hidden, config=config)
+    start = time.perf_counter()
+    history = trainer.run()
+    elapsed = time.perf_counter() - start
+    return trainer, history, config.rounds / elapsed
+
+
 def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
                        rounds: int = 10, local_epochs: int = 5,
                        hidden: int = 32, num_features: int = 32,
                        num_workers: int = 2, model: str = "gcn",
                        seed: int = 0,
+                       worker_speeds: Sequence[float] = (1.0, 0.7),
                        output_name: str = "BENCH_step1") -> Dict:
     """Step-1 rounds/sec for every execution backend on one client split.
 
@@ -177,6 +194,11 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
     benchmarks the batched SGC/propagation family instead).  Every backend
     must reproduce the serial training history; ``loss_gap`` records the
     largest per-round deviation as a parity check.
+
+    The written artifact additionally carries the ``straggler`` (pipelined
+    sync under skewed worker speeds), ``step1_async`` (bounded-staleness
+    rounds) and ``delta_codec`` (lossy top-k transport) sections — all on
+    the same client split so the numbers are comparable.
     """
     graphs = [make_graph(nodes_per_client, seed=seed + index,
                          num_features=num_features)
@@ -192,28 +214,39 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
         },
         "backends": {},
     }
+    # Backends are interleaved over ``repeats`` passes and each reports its
+    # best throughput: single-shot pairings on a shared timing host load-bias
+    # whichever arm hits a noisy window, while per-arm best over interleaved
+    # repeats is a stable estimator.  Parity checks run on every pass.
+    repeats = 3
     reference_loss: Optional[List[float]] = None
-    serial_rps: Optional[float] = None
-    for backend, workers in backends:
-        config = FederatedConfig(
-            rounds=rounds, local_epochs=local_epochs, seed=seed,
-            backend=backend, num_workers=workers, eval_every=rounds)
-        trainer = FederatedGNN(graphs, model, hidden=hidden, config=config)
-        start = time.perf_counter()
-        history = trainer.run()
-        elapsed = time.perf_counter() - start
-        rounds_per_sec = rounds / elapsed
-        if reference_loss is None:
-            reference_loss = history.loss
-        if serial_rps is None:
-            serial_rps = rounds_per_sec
+    best: Dict[str, float] = {}
+    accuracy: Dict[str, float] = {}
+    loss_gaps: Dict[str, float] = {}
+    for _ in range(repeats):
+        for backend, workers in backends:
+            config = FederatedConfig(
+                rounds=rounds, local_epochs=local_epochs, seed=seed,
+                backend=backend, num_workers=workers, eval_every=rounds)
+            trainer, history, rounds_per_sec = _timed_step1_run(
+                graphs, model, hidden, config)
+            if reference_loss is None:
+                reference_loss = history.loss
+            best[backend] = max(best.get(backend, 0.0), rounds_per_sec)
+            accuracy[backend] = round(trainer.evaluate("test"), 4)
+            loss_gaps[backend] = max(
+                loss_gaps.get(backend, 0.0),
+                float(np.max(np.abs(np.asarray(history.loss)
+                                    - np.asarray(reference_loss)))))
+    serial_rps = best["serial"]
+    for backend, _ in backends:
+        rounds_per_sec = best[backend]
         entry = {
             "rounds_per_sec": round(rounds_per_sec, 3),
-            "sec_per_round": round(elapsed / rounds, 4),
+            "sec_per_round": round(elapsed_per_round(rounds_per_sec), 4),
             "speedup_vs_serial": round(rounds_per_sec / serial_rps, 2),
-            "test_accuracy": round(trainer.evaluate("test"), 4),
-            "loss_gap": float(np.max(np.abs(
-                np.asarray(history.loss) - np.asarray(reference_loss)))),
+            "test_accuracy": accuracy[backend],
+            "loss_gap": loss_gaps[backend],
         }
         report["backends"][backend] = entry
         print(f"step1 {backend:12s} {rounds_per_sec:7.2f} rounds/s  "
@@ -221,8 +254,198 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
               f"acc {entry['test_accuracy']:.3f}  "
               f"loss_gap {entry['loss_gap']:.2e}")
 
+    # Twice the backend-suite rounds: the straggler suite measures the
+    # steady-state pipelined round loop, so the one-time pool spawn +
+    # resident bootstrap should amortize out of the per-round figure.
+    report["straggler"] = run_step1_straggler(
+        graphs, rounds=2 * rounds, local_epochs=local_epochs, hidden=hidden,
+        num_workers=num_workers, model=model, seed=seed,
+        worker_speeds=worker_speeds)
+    # Same 2×rounds as the straggler suite: one async seal corresponds to
+    # one sync round here (B=1 merges every shard report), so the
+    # accuracy_gap_vs_sync comparison is round-for-round.
+    report["step1_async"] = run_step1_async(
+        graphs, rounds=2 * rounds, local_epochs=local_epochs, hidden=hidden,
+        num_workers=num_workers, model=model, seed=seed,
+        worker_speeds=worker_speeds,
+        sync_accuracy=report["straggler"]["process_pool"]["test_accuracy"])
+    report["delta_codec"] = run_delta_codec(
+        graphs, rounds=rounds, local_epochs=local_epochs, hidden=hidden,
+        num_workers=num_workers, model=model, seed=seed)
+
     record_json(output_name, report)
     return report
+
+
+def elapsed_per_round(rounds_per_sec: float) -> float:
+    return 1.0 / rounds_per_sec if rounds_per_sec else float("inf")
+
+
+def run_step1_straggler(graphs, rounds: int = 10, local_epochs: int = 5,
+                        hidden: int = 32, num_workers: int = 2,
+                        model: str = "gcn", seed: int = 0,
+                        worker_speeds: Sequence[float] = (1.0, 0.7),
+                        repeats: int = 3) -> Dict:
+    """Pipelined sync rounds under simulated straggler skew, vs serial.
+
+    Per-round evaluation (``eval_every=1``, the library default) makes the
+    coordinator-side work visible: the pipelined loop hides it behind worker
+    training, the serial loop pays it in line.  One worker runs at a
+    fraction of full speed, so the streaming fold's straggler overlap is
+    measured rather than asserted.  ``loss_gap`` must stay 0.0 — pipelining
+    and simulated slowness change timing, never results.
+
+    Serial and pipelined runs are interleaved ``repeats`` times and each
+    arm reports its best throughput: the timing host is shared, so a single
+    pairing can land on a load spike for either arm; per-arm best over
+    interleaved repeats is the standard noise-robust estimator, and the
+    parity check still runs on every repeat.
+    """
+    serial_config = FederatedConfig(
+        rounds=rounds, local_epochs=local_epochs, seed=seed,
+        backend="serial", eval_every=1)
+    pool_config = FederatedConfig(
+        rounds=rounds, local_epochs=local_epochs, seed=seed,
+        backend="process_pool", num_workers=num_workers, eval_every=1,
+        worker_speeds=list(worker_speeds))
+
+    serial_rps = rounds_per_sec = 0.0
+    loss_gap = 0.0
+    trainer = stats = None
+    for _ in range(max(1, repeats)):
+        _, serial_history, serial_trial = _timed_step1_run(
+            graphs, model, hidden, serial_config)
+        trial_trainer, history, pool_trial = _timed_step1_run(
+            graphs, model, hidden, pool_config)
+        loss_gap = max(loss_gap, float(np.max(np.abs(
+            np.asarray(history.loss) - np.asarray(serial_history.loss)))))
+        serial_rps = max(serial_rps, serial_trial)
+        if pool_trial >= rounds_per_sec:
+            rounds_per_sec = pool_trial
+            trainer = trial_trainer
+            stats = trial_trainer.backend.last_pipeline_stats or {}
+
+    section = {
+        "worker_speeds": list(worker_speeds),
+        "eval_every": 1,
+        "rounds": rounds,
+        "repeats": max(1, repeats),
+        "serial": {
+            "rounds_per_sec": round(serial_rps, 3),
+        },
+        "process_pool": {
+            "rounds_per_sec": round(rounds_per_sec, 3),
+            "speedup_vs_serial": round(rounds_per_sec / serial_rps, 2),
+            "test_accuracy": round(trainer.evaluate("test"), 4),
+            "worker_utilization": round(
+                stats.get("worker_utilization", 0.0), 3),
+            "straggler_wait_sec": round(
+                stats.get("straggler_wait_sec", 0.0), 4),
+            "loss_gap": loss_gap,
+        },
+    }
+    entry = section["process_pool"]
+    print(f"step1 straggler   {rounds_per_sec:7.2f} rounds/s  "
+          f"({entry['speedup_vs_serial']:.2f}x serial)  "
+          f"util {entry['worker_utilization']:.2f}  "
+          f"loss_gap {entry['loss_gap']:.2e}")
+    return section
+
+
+def run_step1_async(graphs, rounds: int = 10, local_epochs: int = 5,
+                    hidden: int = 32, num_workers: int = 2,
+                    model: str = "gcn", seed: int = 0,
+                    async_buffer: int = 1, staleness_cap: int = 3,
+                    worker_speeds: Sequence[float] = (1.0, 0.7),
+                    sync_accuracy: Optional[float] = None) -> Dict:
+    """Bounded-staleness async rounds: throughput, utilization, lag profile.
+
+    Workers never wait for a round barrier — the server seals an aggregate
+    after ``async_buffer`` shard reports and stale reports are merged with
+    discounted weight — so a slow worker costs lag, not wall-clock.  The
+    per-client round-lag distribution comes from the recorded history;
+    ``accuracy_gap_vs_sync`` closes the loop against the synchronous run on
+    the same split.
+    """
+    config = FederatedConfig(
+        rounds=rounds, local_epochs=local_epochs, seed=seed,
+        backend="process_pool", num_workers=num_workers, eval_every=1,
+        round_mode="async", async_buffer=async_buffer,
+        staleness_cap=staleness_cap, worker_speeds=list(worker_speeds))
+    trainer, history, rounds_per_sec = _timed_step1_run(
+        graphs, model, hidden, config)
+    stats = trainer.backend.last_pipeline_stats or {}
+
+    last_lag = history.client_lag[-1] if history.client_lag else {}
+    accuracy = trainer.evaluate("test")
+    section = {
+        "config": {
+            "async_buffer": async_buffer, "staleness_cap": staleness_cap,
+            "worker_speeds": list(worker_speeds), "rounds": rounds,
+        },
+        "rounds_per_sec": round(rounds_per_sec, 3),
+        "test_accuracy": round(accuracy, 4),
+        "worker_utilization": round(stats.get("worker_utilization", 0.0), 3),
+        "reports_merged": stats.get("reports_merged", 0),
+        "reports_dropped": stats.get("reports_dropped", 0),
+        "mean_report_lag": round(stats.get("mean_report_lag", 0.0), 3),
+        "max_report_lag": stats.get("max_report_lag", 0),
+        "per_client_lag": {str(cid): lag
+                           for cid, lag in sorted(last_lag.items())},
+    }
+    if sync_accuracy is not None:
+        section["accuracy_gap_vs_sync"] = round(sync_accuracy - accuracy, 4)
+    print(f"step1 async       {rounds_per_sec:7.2f} seals/s   "
+          f"util {section['worker_utilization']:.2f}  "
+          f"lag mean {section['mean_report_lag']:.2f} "
+          f"max {section['max_report_lag']}  "
+          f"acc {section['test_accuracy']:.3f}")
+    return section
+
+
+def run_delta_codec(graphs, rounds: int = 10, local_epochs: int = 5,
+                    hidden: int = 32, num_workers: int = 2,
+                    model: str = "gcn", seed: int = 0,
+                    top_ks: Sequence[int] = (16, 64)) -> Dict:
+    """Accuracy-vs-bytes for the upload transport codecs.
+
+    The lossless bit-delta ships one 8-byte word per parameter per round;
+    ``delta_codec="topk"`` ships only the k largest-magnitude delta entries
+    (index + value words) with worker-side error feedback.  Bytes are read
+    off the same ``backend.transport`` accounting the engine always keeps,
+    so the trade-off point is measured, not estimated.
+    """
+    section: Dict = {"codecs": []}
+    for label, codec, k in ([("bitdelta", "bitdelta", 0)]
+                            + [(f"topk_{k}", "topk", int(k))
+                               for k in top_ks]):
+        config = FederatedConfig(
+            rounds=rounds, local_epochs=local_epochs, seed=seed,
+            backend="process_pool", num_workers=num_workers,
+            eval_every=rounds, delta_codec=codec,
+            delta_top_k=max(1, k))
+        trainer, history, _ = _timed_step1_run(graphs, model, hidden, config)
+        uploaded_values = trainer.backend.transport.uploaded[
+            "parameter_delta"]
+        entry = {
+            "codec": label,
+            "upload_mb_total": round(uploaded_values * 8 / 2 ** 20, 3),
+            "upload_values_per_round": round(uploaded_values / rounds, 1),
+            "test_accuracy": round(trainer.evaluate("test"), 4),
+            "final_loss": round(history.loss[-1], 4),
+        }
+        section["codecs"].append(entry)
+        print(f"step1 codec {label:10s} "
+              f"{entry['upload_mb_total']:7.3f} MB up  "
+              f"acc {entry['test_accuracy']:.3f}")
+    reference = section["codecs"][0]
+    for entry in section["codecs"][1:]:
+        entry["bytes_ratio_vs_bitdelta"] = round(
+            entry["upload_mb_total"]
+            / max(reference["upload_mb_total"], 1e-9), 3)
+        entry["accuracy_gap_vs_bitdelta"] = round(
+            reference["test_accuracy"] - entry["test_accuracy"], 4)
+    return section
 
 
 def run_step2_pool(num_clients: int = 8, nodes_per_client: int = 250,
@@ -327,7 +550,8 @@ def run_topk_curve(num_nodes: int = 1000,
 def main(argv: Optional[List[str]] = None) -> Dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="step2",
-                        choices=["step2", "step1", "topk", "all"])
+                        choices=["step2", "step1", "step1_async", "topk",
+                                 "all"])
     parser.add_argument("--nodes", default="500,1000,2000",
                         help="comma-separated cSBM sizes (step2 suite)")
     parser.add_argument("--epochs", type=int, default=10)
@@ -348,6 +572,15 @@ def main(argv: Optional[List[str]] = None) -> Dict:
     parser.add_argument("--model", default="gcn", choices=["gcn", "sgc"],
                         help="federated model (step1 suite; sgc exercises "
                              "the batched SGC/propagation family)")
+    parser.add_argument("--async-buffer", type=int, default=1,
+                        help="shard reports per server seal "
+                             "(step1_async suite)")
+    parser.add_argument("--staleness-cap", type=int, default=3,
+                        help="drop reports older than this many server "
+                             "rounds (step1_async suite)")
+    parser.add_argument("--worker-speeds", default="1.0,0.7",
+                        help="comma-separated simulated worker speeds "
+                             "(straggler/async suites)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output-name", default=None,
                         help="override the JSON artifact name")
@@ -379,8 +612,25 @@ def main(argv: Optional[List[str]] = None) -> Dict:
             num_clients=args.clients, nodes_per_client=args.client_nodes,
             rounds=args.rounds, local_epochs=args.local_epochs,
             num_workers=args.workers, model=args.model, seed=args.seed,
+            worker_speeds=[float(part)
+                           for part in args.worker_speeds.split(",") if part],
             output_name=(args.output_name if args.suite == "step1"
                          and args.output_name else "BENCH_step1"))
+    if args.suite == "step1_async":
+        # Standalone async iteration loop; the canonical numbers land in
+        # BENCH_step1.json via the full step1 suite above.
+        speeds = [float(part) for part in args.worker_speeds.split(",")
+                  if part]
+        graphs = [make_graph(args.client_nodes, seed=args.seed + index,
+                             num_features=32)
+                  for index in range(args.clients)]
+        results["step1_async"] = run_step1_async(
+            graphs, rounds=args.rounds, local_epochs=args.local_epochs,
+            num_workers=args.workers, model=args.model, seed=args.seed,
+            async_buffer=args.async_buffer,
+            staleness_cap=args.staleness_cap, worker_speeds=speeds)
+        record_json(args.output_name or "BENCH_step1_async",
+                    results["step1_async"])
     if args.suite in ("topk", "all"):
         results["topk"] = run_topk_curve(
             ks=parse_ints(args.top_k_grid, "--top-k-grid"),

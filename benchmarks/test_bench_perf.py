@@ -43,6 +43,34 @@ def test_step1_backend_harness_smoke(model):
         assert entry["rounds_per_sec"] > 0
         # Every backend reproduces the serial training history.
         assert entry["loss_gap"] < 1e-9
+    # Pipelined sync rounds under straggler skew stay exact.
+    assert report["straggler"]["process_pool"]["loss_gap"] == 0.0
+    assert report["straggler"]["process_pool"]["worker_utilization"] > 0
+    # The async section recorded a full lag/utilization profile.
+    assert report["step1_async"]["reports_merged"] > 0
+    assert report["step1_async"]["per_client_lag"]
+    # The codec section measured the lossless point plus ≥1 lossy point.
+    codecs = {entry["codec"]: entry
+              for entry in report["delta_codec"]["codecs"]}
+    assert "bitdelta" in codecs and len(codecs) >= 2
+
+
+@pytest.mark.bench
+def test_step1_async_harness_smoke():
+    """Toy-scale bounded-staleness async suite (CI bench-smoke coverage)."""
+    from benchmarks.bench_perf import make_graph, run_step1_async
+
+    graphs = [make_graph(40, seed=index, num_features=32)
+              for index in range(6)]
+    section = run_step1_async(graphs, rounds=3, local_epochs=2,
+                              num_workers=2, seed=0, async_buffer=1,
+                              staleness_cap=2, worker_speeds=(1.0, 0.5))
+    assert section["rounds_per_sec"] > 0
+    assert section["reports_merged"] >= 3
+    assert 0.0 <= section["worker_utilization"] <= 1.0
+    assert section["max_report_lag"] >= 0
+    assert section["per_client_lag"]
+    assert 0.0 <= section["test_accuracy"] <= 1.0
 
 
 @pytest.mark.bench

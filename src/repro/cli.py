@@ -44,6 +44,16 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.num_workers = args.workers
     if getattr(args, "intra_worker", None) is not None:
         settings.intra_worker = args.intra_worker
+    if getattr(args, "round_mode", None) is not None:
+        settings.round_mode = args.round_mode
+    if getattr(args, "async_buffer", None) is not None:
+        settings.async_buffer = args.async_buffer
+    if getattr(args, "staleness_cap", None) is not None:
+        settings.staleness_cap = args.staleness_cap
+    if getattr(args, "delta_codec", None) is not None:
+        settings.delta_codec = args.delta_codec
+    if getattr(args, "delta_top_k", None) is not None:
+        settings.delta_top_k = args.delta_top_k
     return settings
 
 
@@ -73,6 +83,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="how a persistent pool worker trains its "
                              "resident client shard (auto fuses it through "
                              "the batched engine when possible)")
+    parser.add_argument("--round-mode", default=None,
+                        choices=["sync", "async"],
+                        help="process-pool round discipline: sync pipelined "
+                             "rounds (exact) or bounded-staleness async "
+                             "rounds")
+    parser.add_argument("--async-buffer", type=int, default=None,
+                        help="async mode: shard reports per server seal")
+    parser.add_argument("--staleness-cap", type=int, default=None,
+                        help="async mode: drop reports older than this many "
+                             "server rounds")
+    parser.add_argument("--delta-codec", default=None,
+                        choices=["bitdelta", "topk"],
+                        help="persistent-pool upload transport: lossless "
+                             "bit deltas or lossy top-k sparsified deltas")
+    parser.add_argument("--delta-top-k", type=int, default=None,
+                        help="delta entries kept per parameter with "
+                             "--delta-codec topk")
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:

@@ -79,9 +79,24 @@ class AdaFGLConfig:
     # ``step1_backend`` is an execution-backend name ("serial" /
     # "process_pool" / "batched"); None auto-selects "process_pool" when
     # ``num_workers > 1``.  ``step1_aggregation`` names the server-side
-    # aggregation strategy ("fedavg" / "topology_weighted" / "trimmed_mean").
+    # aggregation strategy ("fedavg" / "topology_weighted" / "trimmed_mean"
+    # / the FedOpt family).  ``round_mode`` selects the process pool's round
+    # discipline — "sync" pipelined-but-exact rounds (default) or "async"
+    # bounded-staleness rounds sealed after ``async_buffer`` shard reports
+    # with staleness capped at ``staleness_cap`` — and ``delta_codec`` its
+    # upload transport ("bitdelta" lossless / "topk" lossy keeping
+    # ``delta_top_k`` entries per parameter with error feedback).
+    # ``worker_speeds`` simulates heterogeneous worker hardware (straggler
+    # benchmarks, deterministic async runs).  Step 2 rides the same
+    # (pipelined) pool, so these knobs shape both steps' execution.
     step1_backend: Optional[str] = None
     step1_aggregation: str = "fedavg"
+    round_mode: str = "sync"
+    async_buffer: int = 1
+    staleness_cap: int = 3
+    delta_codec: str = "bitdelta"
+    delta_top_k: int = 32
+    worker_speeds: Optional[Sequence[float]] = None
 
     # HCS / label propagation.
     lp_steps: int = 5
@@ -106,7 +121,10 @@ class AdaFGLConfig:
             weight_decay=self.weight_decay, participation=self.participation,
             seed=self.seed, backend=backend, num_workers=self.num_workers,
             intra_worker=self.intra_worker,
-            aggregation=self.step1_aggregation)
+            aggregation=self.step1_aggregation,
+            round_mode=self.round_mode, async_buffer=self.async_buffer,
+            staleness_cap=self.staleness_cap, delta_codec=self.delta_codec,
+            delta_top_k=self.delta_top_k, worker_speeds=self.worker_speeds)
 
 
 #: fallback sparsity when neither the config nor the dataset registry pins one

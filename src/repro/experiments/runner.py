@@ -57,6 +57,16 @@ class ExperimentSettings:
     #: "auto"/"batched" fuse it through the batched engine, "serial" pins
     #: the per-client loop.
     intra_worker: str = "auto"
+    #: process-pool round discipline: "sync" (pipelined, exact) or "async"
+    #: (bounded staleness: seal after ``async_buffer`` shard reports, drop
+    #: reports older than ``staleness_cap`` server rounds).
+    round_mode: str = "sync"
+    async_buffer: int = 1
+    staleness_cap: int = 3
+    #: persistent-pool upload transport: "bitdelta" (lossless) or "topk"
+    #: (lossy, ``delta_top_k`` entries per parameter, error feedback).
+    delta_codec: str = "bitdelta"
+    delta_top_k: int = 32
 
     def federated_config(self) -> FederatedConfig:
         backend = self.backend
@@ -68,7 +78,12 @@ class ExperimentSettings:
                                seed=self.seed, backend=backend,
                                aggregation=self.aggregation,
                                num_workers=self.num_workers,
-                               intra_worker=self.intra_worker)
+                               intra_worker=self.intra_worker,
+                               round_mode=self.round_mode,
+                               async_buffer=self.async_buffer,
+                               staleness_cap=self.staleness_cap,
+                               delta_codec=self.delta_codec,
+                               delta_top_k=self.delta_top_k)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
         # ``sparse_propagation=True`` is the experiment-runner default since
@@ -89,7 +104,12 @@ class ExperimentSettings:
                               step1_backend=self.backend,
                               step1_aggregation=self.aggregation,
                               num_workers=self.num_workers,
-                              intra_worker=self.intra_worker)
+                              intra_worker=self.intra_worker,
+                              round_mode=self.round_mode,
+                              async_buffer=self.async_buffer,
+                              staleness_cap=self.staleness_cap,
+                              delta_codec=self.delta_codec,
+                              delta_top_k=self.delta_top_k)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

@@ -21,8 +21,12 @@ from repro.federated.engine.aggregation import (
     AGGREGATION_REGISTRY,
     AggregationContext,
     AggregationStrategy,
+    FedAdagradAggregation,
     FedAdamAggregation,
     FedAvgAggregation,
+    FedYogiAggregation,
+    ServerOptAggregation,
+    StreamingAggregate,
     TopologyWeightedAggregation,
     TrimmedMeanAggregation,
     list_aggregations,
@@ -32,6 +36,7 @@ from repro.federated.engine.aggregation import (
 from repro.federated.engine.backends import (
     BACKEND_REGISTRY,
     ExecutionBackend,
+    PendingRound,
     ProcessPoolBackend,
     SerialBackend,
     list_backends,
@@ -45,15 +50,26 @@ from repro.federated.engine.persistent import (
     PersistentWorkerPool,
     WorkerError,
     apply_state_delta,
+    apply_topk_delta,
     encode_state_delta,
+    encode_topk_delta,
+)
+from repro.federated.engine.pipeline import (
+    AsyncRoundLoop,
+    SyncPipelinedLoop,
+    resolve_round_loop,
 )
 
 __all__ = [
     "AGGREGATION_REGISTRY",
     "AggregationContext",
     "AggregationStrategy",
+    "FedAdagradAggregation",
     "FedAdamAggregation",
     "FedAvgAggregation",
+    "FedYogiAggregation",
+    "ServerOptAggregation",
+    "StreamingAggregate",
     "TopologyWeightedAggregation",
     "TrimmedMeanAggregation",
     "list_aggregations",
@@ -61,6 +77,7 @@ __all__ = [
     "register_aggregation",
     "BACKEND_REGISTRY",
     "ExecutionBackend",
+    "PendingRound",
     "SerialBackend",
     "ProcessPoolBackend",
     "BatchedBackend",
@@ -73,4 +90,9 @@ __all__ = [
     "WorkerError",
     "encode_state_delta",
     "apply_state_delta",
+    "encode_topk_delta",
+    "apply_topk_delta",
+    "AsyncRoundLoop",
+    "SyncPipelinedLoop",
+    "resolve_round_loop",
 ]

@@ -15,6 +15,17 @@ Strategies are plain objects registered by name in
 :data:`AGGREGATION_REGISTRY`, so ``FederatedConfig(aggregation="...")`` — and
 therefore the CLI ``--aggregation`` flag — can select them without touching
 trainer code.
+
+Streaming aggregation
+---------------------
+The pipelined round loop (:mod:`~repro.federated.engine.pipeline`) does not
+wait for every participant before aggregating: shard uploads are folded into
+a running weighted merge the moment they arrive, so the merge cost overlaps
+straggler compute.  A strategy opts in by returning a
+:class:`StreamingAggregate` from :meth:`AggregationStrategy.begin_stream`;
+strategies that need every state at once (e.g. the coordinate-wise trimmed
+mean) return ``None`` and the loop falls back to gather-then-aggregate —
+still pipelined across rounds, just not within the merge.
 """
 
 from __future__ import annotations
@@ -44,6 +55,80 @@ class AggregationContext:
     trainer: object
 
 
+class StreamingAggregate:
+    """Incremental weighted merge, bitwise-equal to :func:`fedavg_aggregate`.
+
+    Contributions are folded **in participant order**: an upload arriving
+    out of order is buffered until every earlier participant has been folded,
+    so the floating-point summation order — and therefore the result, bit for
+    bit — is identical to the barrier-style ``sum(w_i · state_i)`` no matter
+    which worker finishes first.  In expectation half the merge work still
+    happens while stragglers compute, which is the point of streaming.
+
+    ``finalize`` post-processes the sealed average (e.g. the FedOpt server
+    update); the full participant ``weights`` must be known at construction
+    time, exactly as they are at dispatch time (``client.num_samples`` is
+    static).
+    """
+
+    def __init__(self, weights: Sequence[float],
+                 finalize: Optional[Callable[[StateDict], StateDict]] = None):
+        base = np.asarray(weights, dtype=np.float64)
+        if base.size == 0:
+            raise ValueError("streaming aggregation needs at least one weight")
+        if base.sum() <= 0:
+            raise ValueError("aggregation weights must sum to a positive value")
+        self._weights = base / base.sum()
+        self._finalize = finalize
+        self._expected = int(base.size)
+        self._next = 0
+        self._buffer: Dict[int, StateDict] = {}
+        self._acc: Optional[Dict[str, np.ndarray]] = None
+        self._keys: Optional[frozenset] = None
+
+    @property
+    def pending(self) -> int:
+        """Participants whose contribution has not been folded yet."""
+        return self._expected - self._next
+
+    def add(self, index: int, state: StateDict) -> None:
+        """Fold participant ``index``'s upload (buffering out-of-order ones)."""
+        if not 0 <= index < self._expected:
+            raise IndexError(f"participant index {index} out of range")
+        if index < self._next or index in self._buffer:
+            raise ValueError(f"participant {index} already folded")
+        # Same loud failure as the barrier fedavg_aggregate: a key-set
+        # mismatch would otherwise skew the effective weights silently.
+        if self._keys is None:
+            self._keys = frozenset(state)
+        elif frozenset(state) != self._keys:
+            raise KeyError(
+                "client state dicts have mismatching parameter names")
+        self._buffer[index] = state
+        while self._next in self._buffer:
+            state = self._buffer.pop(self._next)
+            weight = self._weights[self._next]
+            if self._acc is None:
+                # Replicate ``sum(...)`` exactly: the accumulator starts at
+                # the integer 0 so the first fold is ``0 + w·state``.
+                self._acc = {key: 0 + weight * value
+                             for key, value in state.items()}
+            else:
+                for key, value in state.items():
+                    self._acc[key] = self._acc[key] + weight * value
+            self._next += 1
+
+    def seal(self) -> StateDict:
+        """Finish the merge; every participant must have been folded."""
+        if self.pending:
+            raise RuntimeError(
+                f"cannot seal: {self.pending} contribution(s) still pending")
+        assert self._acc is not None
+        if self._finalize is not None:
+            return self._finalize(self._acc)
+        return self._acc
+
+
 class AggregationStrategy:
     """Base strategy: subclass and override :meth:`aggregate`."""
 
@@ -53,6 +138,19 @@ class AggregationStrategy:
                   weights: Sequence[float],
                   context: Optional[AggregationContext] = None) -> StateDict:
         raise NotImplementedError
+
+    def begin_stream(self, weights: Sequence[float],
+                     context: Optional[AggregationContext] = None
+                     ) -> Optional[StreamingAggregate]:
+        """Start an incremental merge for one round (or ``None``).
+
+        Returning a :class:`StreamingAggregate` promises that folding every
+        participant's state into it and sealing produces the same result as
+        :meth:`aggregate` over the gathered states.  The default ``None``
+        makes the pipelined loop gather every upload first.
+        """
+        del weights, context
+        return None
 
     def personalize(self, client, global_state: StateDict,
                     context: Optional[AggregationContext] = None) -> StateDict:
@@ -69,6 +167,10 @@ class FedAvgAggregation(AggregationStrategy):
     def aggregate(self, states, weights, context=None):
         del context
         return fedavg_aggregate(states, weights)
+
+    def begin_stream(self, weights, context=None):
+        del context
+        return StreamingAggregate(weights)
 
 
 class TopologyWeightedAggregation(AggregationStrategy):
@@ -136,6 +238,13 @@ class TopologyWeightedAggregation(AggregationStrategy):
         return fedavg_aggregate(
             states, self.participant_weights(weights, context))
 
+    def begin_stream(self, weights, context=None):
+        # The topology statistics are static per client, so the adjusted
+        # weights are fully known before any upload arrives.
+        if context is None or len(weights) != len(context.participants):
+            return StreamingAggregate(weights)
+        return StreamingAggregate(self.participant_weights(weights, context))
+
 
 class TrimmedMeanAggregation(AggregationStrategy):
     """Coordinate-wise trimmed mean (robust aggregation).
@@ -174,25 +283,27 @@ class TrimmedMeanAggregation(AggregationStrategy):
         return aggregated
 
 
-class FedAdamAggregation(AggregationStrategy):
-    """Server-side Adam over the FedAvg pseudo-gradient (FedOpt family).
+class ServerOptAggregation(AggregationStrategy):
+    """Server-side adaptive optimisation over the FedAvg pseudo-gradient.
 
-    Adaptive federated optimisation (Reddi et al., 2021): the server keeps
-    its own model ``x`` and first/second moment estimates.  Every round the
-    participants' uploads are FedAvg-combined and their offset from the
+    Adaptive federated optimisation (FedOpt, Reddi et al., 2021): the server
+    keeps its own model ``x`` and first/second moment estimates.  Every round
+    the participants' uploads are FedAvg-combined and their offset from the
     server model is treated as a pseudo-gradient
 
     ``Δ_t = avg(states) - x_t``,
     ``m_t = β₁ m_{t-1} + (1 - β₁) Δ_t``,
-    ``v_t = β₂ v_{t-1} + (1 - β₂) Δ_t²``,
     ``x_{t+1} = x_t + η · m_t / (√v_t + τ)``
 
-    (no bias correction, matching the paper).  The very first aggregate call
-    has no server model yet, so it adopts the FedAvg result as ``x₁`` with
-    zero moments — identical to FedAvg for that round.
+    (no bias correction, matching the paper).  Subclasses differ only in the
+    second-moment recursion ``v_t`` (:meth:`_second_moment`): FedAdam uses an
+    exponential moving average, FedYogi the sign-controlled additive update,
+    FedAdagrad the plain running sum.  The very first aggregate call has no
+    server model yet, so it adopts the FedAvg result as ``x₁`` with zero
+    moments — identical to FedAvg for that round.
     """
 
-    name = "fedadam"
+    name = "serveropt"
 
     def __init__(self, server_lr: float = 0.1, beta1: float = 0.9,
                  beta2: float = 0.99, tau: float = 1e-3):
@@ -211,9 +322,12 @@ class FedAdamAggregation(AggregationStrategy):
         self._m: Optional[StateDict] = None
         self._v: Optional[StateDict] = None
 
-    def aggregate(self, states, weights, context=None):
-        del context
-        average = fedavg_aggregate(states, weights)
+    def _second_moment(self, v: np.ndarray, squared: np.ndarray) -> np.ndarray:
+        """Next second-moment estimate given ``Δ²`` (subclass-specific)."""
+        raise NotImplementedError
+
+    def _server_update(self, average: StateDict) -> StateDict:
+        """Fold one round's FedAvg result into the server model."""
         if self._model is None:
             self._model = {key: value.copy()
                            for key, value in average.items()}
@@ -227,12 +341,53 @@ class FedAdamAggregation(AggregationStrategy):
             delta = average[key] - x
             self._m[key] = self.beta1 * self._m[key] \
                 + (1.0 - self.beta1) * delta
-            self._v[key] = self.beta2 * self._v[key] \
-                + (1.0 - self.beta2) * delta * delta
+            self._v[key] = self._second_moment(self._v[key], delta * delta)
             updated[key] = x + self.server_lr * self._m[key] / (
                 np.sqrt(self._v[key]) + self.tau)
         self._model = updated
         return {key: value.copy() for key, value in updated.items()}
+
+    def aggregate(self, states, weights, context=None):
+        del context
+        return self._server_update(fedavg_aggregate(states, weights))
+
+    def begin_stream(self, weights, context=None):
+        # The pseudo-gradient step is a pure function of the FedAvg result,
+        # so the average streams and the server update runs at seal time.
+        del context
+        return StreamingAggregate(weights, finalize=self._server_update)
+
+
+class FedAdamAggregation(ServerOptAggregation):
+    """FedAdam: exponential-moving-average second moment."""
+
+    name = "fedadam"
+
+    def _second_moment(self, v, squared):
+        return self.beta2 * v + (1.0 - self.beta2) * squared
+
+
+class FedYogiAggregation(ServerOptAggregation):
+    """FedYogi: additive second moment controlled by ``sign(v - Δ²)``.
+
+    ``v_t = v_{t-1} - (1 - β₂) Δ_t² · sign(v_{t-1} - Δ_t²)`` grows ``v``
+    at most additively, making the effective server step shrink more slowly
+    than Adam's when pseudo-gradients suddenly spike.
+    """
+
+    name = "fedyogi"
+
+    def _second_moment(self, v, squared):
+        return v - (1.0 - self.beta2) * squared * np.sign(v - squared)
+
+
+class FedAdagradAggregation(ServerOptAggregation):
+    """FedAdagrad: monotone running-sum second moment ``v_t = v_{t-1} + Δ_t²``."""
+
+    name = "fedadagrad"
+
+    def _second_moment(self, v, squared):
+        return v + squared
 
 
 #: name → zero-argument factory for every built-in strategy.
@@ -241,6 +396,8 @@ AGGREGATION_REGISTRY: Dict[str, Callable[[], AggregationStrategy]] = {
     TopologyWeightedAggregation.name: TopologyWeightedAggregation,
     TrimmedMeanAggregation.name: TrimmedMeanAggregation,
     FedAdamAggregation.name: FedAdamAggregation,
+    FedYogiAggregation.name: FedYogiAggregation,
+    FedAdagradAggregation.name: FedAdagradAggregation,
 }
 
 

@@ -34,9 +34,13 @@ import numpy as np
 
 from repro.federated.communication import CommunicationTracker
 from repro.federated.engine.persistent import (
+    STACK_MARKER,
+    TOPK_MARKER,
     PersistentWorkerPool,
     WorkerError,
+    apply_stacked_delta,
     apply_state_delta,
+    apply_topk_delta,
     encode_state_delta,
 )
 
@@ -114,6 +118,10 @@ class ExecutionBackend:
 
     name = "base"
 
+    #: True when the backend exposes the dispatch/collect round protocol the
+    #: pipelined round loops require (see ProcessPoolBackend).
+    supports_pipelining = False
+
     trainer = None
 
     def bind(self, trainer) -> None:
@@ -135,6 +143,37 @@ class SerialBackend(ExecutionBackend):
 
     def run_local_training(self, participants):
         return [client.local_train() for client in participants]
+
+
+class PendingRound:
+    """Handle for one dispatched-but-not-finished persistent-pool round.
+
+    Created by :meth:`ProcessPoolBackend.dispatch_round`; the round loop then
+    pumps :meth:`~ProcessPoolBackend.collect_next` /
+    :meth:`~ProcessPoolBackend.collect_worker` until ``outstanding`` is empty
+    and settles with :meth:`~ProcessPoolBackend.finish_round`.
+    """
+
+    def __init__(self, participants: List):
+        #: the round's participants, in selection (client-id) order
+        self.participants = participants
+        #: client_id → coordinator mirror client
+        self.mirrors = {c.client_id: c for c in participants}
+        #: worker → shard client ids dispatched to it
+        self.groups: Dict[int, List[int]] = {}
+        #: client_id → broadcast state the worker trained from (delta base)
+        self.sent: Dict[int, Dict[str, np.ndarray]] = {}
+        #: coordinator-resident clients (non-poolable)
+        self.local_side: List = []
+        #: workers whose shard report has not been absorbed yet
+        self.outstanding: Set[int] = set()
+        #: client_id → mean local-training loss
+        self.losses: Dict[int, float] = {}
+        #: client_id → trained state reconstructed from the upload delta;
+        #: applied to the mirrors by ``finish_round`` (deferring the apply
+        #: lets the pipelined loop evaluate the *previous* round — mirrors
+        #: still at broadcast state — while stragglers finish)
+        self.states: Dict[int, Dict[str, np.ndarray]] = {}
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -172,18 +211,47 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process_pool"
 
+    #: the pipelined round loops can drive this backend round by round
+    supports_pipelining = True
+
     def __init__(self, num_workers: Optional[int] = None,
-                 intra_worker: str = "auto", **_unused):
+                 intra_worker: str = "auto", delta_codec: str = "bitdelta",
+                 delta_top_k: int = 32,
+                 worker_speeds: Optional[Sequence[float]] = None, **_unused):
         if intra_worker not in ("auto", "batched", "serial"):
             raise ValueError(
                 "intra_worker must be 'auto', 'batched' or 'serial', "
                 f"got {intra_worker!r}")
+        if delta_codec not in ("bitdelta", "topk"):
+            raise ValueError(
+                f"delta_codec must be 'bitdelta' or 'topk', got {delta_codec!r}")
+        if delta_codec == "topk" and delta_top_k < 1:
+            raise ValueError("delta_top_k must be >= 1")
+        if worker_speeds is not None:
+            worker_speeds = [float(s) for s in worker_speeds]
+            if not worker_speeds or any(s <= 0 for s in worker_speeds):
+                raise ValueError("worker_speeds must be positive floats")
         self.num_workers = num_workers
         self.intra_worker = intra_worker
+        self.delta_codec = delta_codec
+        self.delta_top_k = delta_top_k
+        self.worker_speeds = worker_speeds
         self.transport = CommunicationTracker()
+        #: cumulative worker-reported busy seconds (training + simulated
+        #: slowdown), indexed by worker — the utilization metric's numerator
+        self.busy_sec: Dict[int, float] = {}
+        #: summary dict written by the last pipelined/async round loop
+        self.last_pipeline_stats: Optional[Dict] = None
         self._pool: Optional[PersistentWorkerPool] = None
         self._owner: Dict[int, int] = {}   # client_id → owning worker
         self._local: Set[int] = set()      # coordinator-resident client ids
+
+    # ------------------------------------------------------------------
+    def worker_speed(self, worker: int) -> float:
+        """Simulated relative speed of a worker (1.0 = full speed)."""
+        if not self.worker_speeds:
+            return 1.0
+        return self.worker_speeds[worker % len(self.worker_speeds)]
 
     # ------------------------------------------------------------------
     def _worker_count(self) -> int:
@@ -202,6 +270,26 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._owner.get(client_id)
 
     # ------------------------------------------------------------------
+    def _assign_worker(self, cid: int) -> int:
+        """Deterministic owner for a new resident client.
+
+        Uniform worker speeds keep the classic ``cid % W`` round-robin.
+        Simulated heterogeneous speeds apportion by capacity instead: each
+        new client goes to the worker with the lowest projected load
+        ``(assigned + 1) / speed`` (ties to the lower index), so a slow
+        worker holds a proportionally smaller shard and shard completion
+        times line up instead of the slow worker stretching every round.
+        """
+        workers = self._pool.num_workers
+        speeds = [self.worker_speed(worker) for worker in range(workers)]
+        if len(set(speeds)) == 1:
+            return cid % workers
+        counts = [0] * workers
+        for owner in self._owner.values():
+            counts[owner] += 1
+        return min(range(workers),
+                   key=lambda w: ((counts[w] + 1) / speeds[w], w))
+
     def _bootstrap(self, clients: Sequence) -> List:
         """Ship not-yet-resident clients to their owners; return the pooled.
 
@@ -223,7 +311,7 @@ class ProcessPoolBackend(ExecutionBackend):
             except Exception:
                 self._local.add(cid)
                 continue
-            worker = cid % pool.num_workers
+            worker = self._assign_worker(cid)
             batches.setdefault(worker, []).append((cid, blob))
             self._owner[cid] = worker
             self.transport.record_download("bootstrap_payload",
@@ -249,12 +337,34 @@ class ProcessPoolBackend(ExecutionBackend):
         self._local.add(client.client_id)
 
     # ------------------------------------------------------------------
-    def run_local_training(self, participants):
+    # Round protocol: dispatch → (local side) → collect* → finish
+    #
+    # ``run_local_training`` composes these into the classic barrier round;
+    # the pipelined round loops (repro.federated.engine.pipeline) drive them
+    # directly so aggregation, evaluation and the next round's broadcast can
+    # overlap worker compute.
+    # ------------------------------------------------------------------
+    def dispatch_round(self, participants,
+                       states: Optional[Dict[int, Dict[str, np.ndarray]]]
+                       = None) -> "PendingRound":
+        """Partition the participants and start their worker-side training.
+
+        Ships the (deduplicated) per-client broadcast states — read from the
+        coordinator mirrors, which hold the post-broadcast weights — to each
+        owning worker and returns a :class:`PendingRound` handle; nothing is
+        received yet.  Clients that cannot be pooled (non-picklable
+        ``extra_loss`` hooks, or a sub-2-participant round with no pool
+        alive) are left on ``pending.local_side`` for the coordinator.
+
+        ``states`` optionally maps ``client_id`` to the exact state the
+        caller just broadcast (the pipelined loop hands back what
+        ``personalize`` returned), skipping one full-parameter copy per
+        client and letting the dedup recognise shared dicts by identity.
+        """
+        pending = PendingRound(list(participants))
         if self._pool is None and len(participants) < 2:
-            # Zero-IPC round; still advance the transport tracker so the
-            # per-round IPC series stays aligned with federated rounds.
-            self.transport.next_round()
-            return [client.local_train() for client in participants]
+            pending.local_side = list(participants)
+            return pending
 
         local_side, candidates = [], []
         for client in participants:
@@ -270,11 +380,11 @@ class ProcessPoolBackend(ExecutionBackend):
                 local_side.append(client)
             else:
                 candidates.append(client)
+        pending.local_side = local_side
         if not candidates:
             # Nothing poolable (e.g. FedGL hooks every client): train
             # in-process without ever spawning workers (zero-IPC round).
-            self.transport.next_round()
-            return [client.local_train() for client in participants]
+            return pending
         self.ensure_pool()
         pooled = self._bootstrap(candidates)
         pooled_ids = {client.client_id for client in pooled}
@@ -283,54 +393,141 @@ class ProcessPoolBackend(ExecutionBackend):
 
         pool = self._pool
         groups: Dict[int, List[int]] = {}
-        mirrors = {c.client_id: c for c in participants}
         unique: List[Dict[str, np.ndarray]] = []
         assign: Dict[int, int] = {}
-        sent: Dict[int, Dict[str, np.ndarray]] = {}
+        # id(state dict) → unique index.  Only safe with caller-supplied
+        # ``states``: those dicts stay alive in the caller's map for the
+        # whole loop, so ids cannot be recycled (a fresh ``get_weights``
+        # dict that value-matched and was dropped could donate its id to
+        # the next fresh dict).
+        by_identity: Optional[Dict[int, int]] = \
+            {} if states is not None else None
         for client in pooled:
             cid = client.client_id
             groups.setdefault(self._owner[cid], []).append(cid)
-            state = client.get_weights()
+            state = states[cid] if states is not None \
+                else client.get_weights()
             # Broadcast dedup: after plain FedAvg every participant holds
             # the identical global state (one unique entry, one comparison
             # per client); clustered personalization (e.g. GCFL+) dedups to
-            # one entry per cluster.  array_equal exits on the first
-            # differing element, so the all-distinct worst case stays cheap.
+            # one entry per cluster.  When the caller supplied the broadcast
+            # states, clients sharing one personalize result hit the
+            # identity map without touching array contents; array_equal
+            # exits on the first differing element, so even the
+            # all-distinct worst case stays cheap.
+            if by_identity is not None:
+                known = by_identity.get(id(state))
+                if known is not None:
+                    assign[cid] = known
+                    pending.sent[cid] = unique[known]
+                    continue
             for index, candidate in enumerate(unique):
                 if _states_equal(candidate, state):
                     assign[cid] = index
-                    sent[cid] = candidate
+                    pending.sent[cid] = candidate
                     break
             else:
                 unique.append(state)
                 assign[cid] = len(unique) - 1
-                sent[cid] = state
+                pending.sent[cid] = state
+            if by_identity is not None:
+                by_identity[id(state)] = assign[cid]
+        codec = (self.delta_codec, self.delta_top_k)
         for worker, ids in groups.items():
             used = sorted({assign[cid] for cid in ids})
             local_index = {u: i for i, u in enumerate(used)}
+            slowdown = max(1.0, 1.0 / self.worker_speed(worker))
             pool.send(worker, "train",
                       (ids, [unique[u] for u in used],
                        {cid: local_index[assign[cid]] for cid in ids},
-                       self.intra_worker))
+                       self.intra_worker, codec, slowdown))
             self.transport.record_download(
                 "broadcast_weights",
                 sum(v.size for u in used for v in unique[u].values()))
+        pending.groups = groups
+        pending.outstanding = set(groups)
+        return pending
 
-        # Coordinator-resident clients train while the workers run.
-        losses: Dict[int, float] = {}
-        for client in local_side:
-            losses[client.client_id] = client.local_train()
+    def run_local_side(self, pending: "PendingRound") -> None:
+        """Train the coordinator-resident clients (while workers run)."""
+        for client in pending.local_side:
+            pending.losses[client.client_id] = client.local_train()
 
-        for worker, ids in groups.items():
-            worker_losses, deltas, stats = pool.recv(worker)
+    def collect_worker(self, pending: "PendingRound", worker: int) -> List[int]:
+        """Absorb one worker's shard report: reconstruct states, account IPC.
+
+        Returns the client ids the report covered.  Trained weights are
+        rebuilt from the upload delta (bit-exact under the ``bitdelta``
+        codec) into ``pending.states``; the mirrors themselves are only
+        written by :meth:`finish_round`, so a caller overlapping the
+        previous round's evaluation with straggler collection still sees
+        the mirrors at their broadcast state.
+        """
+        if worker not in pending.outstanding:
+            raise ValueError(f"worker {worker} has no outstanding shard")
+        worker_losses, deltas, stats = self._pool.recv(worker)
+        ids = pending.groups[worker]
+        if STACK_MARKER in deltas:
+            # Whole-shard stacked bit delta (resident worker plan): one
+            # vectorised reconstruction, per-client states are views.
+            stack_ids, stacked = deltas[STACK_MARKER]
+            rebuilt = apply_stacked_delta(
+                [pending.sent[cid] for cid in stack_ids], stacked)
+            for cid, state in zip(stack_ids, rebuilt):
+                pending.states[cid] = state
+                pending.losses[cid] = worker_losses[cid]
+        else:
             for cid in ids:
-                mirrors[cid].set_weights(
-                    apply_state_delta(sent[cid], deltas[cid]))
-                losses[cid] = worker_losses[cid]
-            self.transport.record_upload("parameter_delta",
-                                         stats["delta_values"])
-        self.transport.next_round()
-        return [losses[client.client_id] for client in participants]
+                delta = deltas[cid]
+                if TOPK_MARKER in delta:
+                    state = apply_topk_delta(pending.sent[cid],
+                                             delta[TOPK_MARKER])
+                else:
+                    state = apply_state_delta(pending.sent[cid], delta)
+                pending.states[cid] = state
+                pending.losses[cid] = worker_losses[cid]
+        self.transport.record_upload("parameter_delta",
+                                     stats["delta_values"])
+        self.busy_sec[worker] = self.busy_sec.get(worker, 0.0) \
+            + stats.get("busy_sec", 0.0)
+        pending.outstanding.discard(worker)
+        return ids
+
+    def collect_next(self, pending: "PendingRound") -> List[int]:
+        """Absorb whichever outstanding shard finishes first (as-completed)."""
+        ready = self._pool.wait(sorted(pending.outstanding))
+        collected: List[int] = []
+        for worker in ready:
+            collected.extend(self.collect_worker(pending, worker))
+        return collected
+
+    def finish_round(self, pending: "PendingRound",
+                     advance_round: bool = True) -> List[float]:
+        """Close out a fully-collected round; losses in participant order.
+
+        Applies the collected worker-trained states to the coordinator
+        mirrors — from here on the round looks exactly as if every client
+        had trained in-process.  ``advance_round=False`` skips the per-round
+        IPC tick — the async loop re-dispatches shards many times per server
+        round and advances the tracker once per seal instead.
+        """
+        if pending.outstanding:
+            raise RuntimeError(
+                f"round not complete: workers {sorted(pending.outstanding)} "
+                "still outstanding")
+        for cid, state in pending.states.items():
+            pending.mirrors[cid].set_weights(state)
+        if advance_round:
+            self.transport.next_round()
+        return [pending.losses[client.client_id]
+                for client in pending.participants]
+
+    def run_local_training(self, participants):
+        pending = self.dispatch_round(participants)
+        self.run_local_side(pending)
+        while pending.outstanding:
+            self.collect_next(pending)
+        return self.finish_round(pending)
 
     # ------------------------------------------------------------------
     def _sync_worker_state(self) -> None:

@@ -152,11 +152,81 @@ class _BatchedPlan:
         return weights, biases, moments_m, moments_v, steps
 
     # ------------------------------------------------------------------
-    def run_round(self, max_grad_norm: float = 5.0) -> List[float]:
+    # Resident ("hot") mode: a persistent-pool worker trains the same shard
+    # every round, so the stacked tensors and Adam state can live on the
+    # plan between rounds instead of round-tripping through every client's
+    # model and optimizer (B × set_weights + np.stack up, B × write_back
+    # down — the dominant non-epoch cost of small-client shards).  While a
+    # plan is hot its clients' own weights/moments are stale; ``flush``
+    # must run before anything else reads them (state fetch, eviction,
+    # serial fallback, a different plan over the same clients).
+    # ------------------------------------------------------------------
+    hot: Optional[Tuple] = None
+
+    def ensure_hot(self) -> None:
+        """Stack the clients' current weights/moments into resident tensors.
+
+        First hot round only; afterwards the stacked state is authoritative
+        and the caller overwrites the weight slices with each broadcast via
+        :meth:`load_client_state`.
+        """
+        if self.hot is None:
+            self.hot = self._stack_states()
+
+    def load_client_state(self, index: int, state: Dict[str, np.ndarray]
+                          ) -> None:
+        """Write one client's parameter dict into the hot stacked tensors."""
+        weights, biases = self.hot[0], self.hot[1]
+        for layer, (w_name, b_name) in enumerate(self.param_names):
+            weights[layer].data[index] = state[w_name]
+            biases[layer].data[index, 0] = state[b_name]
+
+    def load_shared_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Broadcast one parameter dict to every client's stack slice.
+
+        The uniform-broadcast fast path: one numpy assign per parameter
+        instead of one per (client, parameter).
+        """
+        weights, biases = self.hot[0], self.hot[1]
+        for layer, (w_name, b_name) in enumerate(self.param_names):
+            weights[layer].data[:] = state[w_name]
+            biases[layer].data[:, 0] = state[b_name]
+
+    def client_state(self, index: int) -> Dict[str, np.ndarray]:
+        """One client's trained parameters as views into the hot stack."""
+        weights, biases = self.hot[0], self.hot[1]
+        state = {}
+        for layer, (w_name, b_name) in enumerate(self.param_names):
+            state[w_name] = weights[layer].data[index]
+            state[b_name] = biases[layer].data[index, 0]
+        return state
+
+    def stacked_params(self) -> Dict[str, np.ndarray]:
+        """The hot ``(B, ...)`` parameter stacks, keyed by parameter name."""
+        weights, biases = self.hot[0], self.hot[1]
+        stacks = {}
+        for layer, (w_name, b_name) in enumerate(self.param_names):
+            stacks[w_name] = weights[layer].data
+            stacks[b_name] = biases[layer].data[:, 0]
+        return stacks
+
+    def flush(self) -> None:
+        """Write the hot stacked state back into the clients and go cold."""
+        if self.hot is not None:
+            self._write_back(*self.hot)
+            self.hot = None
+
+    # ------------------------------------------------------------------
+    def run_round(self, max_grad_norm: float = 5.0,
+                  keep_hot: bool = False) -> List[float]:
         """All participants' local epochs as one batched graph per epoch."""
         for client in self.clients:
             client.model.train()
-        weights, biases, moments_m, moments_v, steps = self._stack_states()
+        if self.hot is not None:
+            weights, biases, moments_m, moments_v, steps = self.hot
+        else:
+            weights, biases, moments_m, moments_v, steps = \
+                self._stack_states()
         # Flat parameter list in Adam order (weight, bias per layer) so the
         # clip/step loops pair each tensor with its stacked moments.
         stacked = [param for pair in zip(weights, biases) for param in pair]
@@ -195,9 +265,16 @@ class _BatchedPlan:
                     param.grad = param.grad * scale[:, None, None]
 
             # Vectorised Adam with per-client bias-correction step counts.
+            # The corrections use Python scalar pow: numpy's vectorised
+            # ``beta ** steps`` takes a SIMD code path whose rounding differs
+            # from ``beta ** int_step`` by one ulp at some exponents (e.g.
+            # 0.999**7), which would break bitwise parity with the serial
+            # optimizer.
             steps += 1.0
-            bias1 = (1.0 - beta1 ** steps)[:, None, None]
-            bias2 = (1.0 - beta2 ** steps)[:, None, None]
+            bias1 = np.array([1.0 - beta1 ** int(s) for s in steps])[
+                :, None, None]
+            bias2 = np.array([1.0 - beta2 ** int(s) for s in steps])[
+                :, None, None]
             for param, m, v in zip(stacked, moments_m, moments_v):
                 grad = param.grad
                 if wd:
@@ -209,7 +286,11 @@ class _BatchedPlan:
                 param.data = param.data - lr * (m / bias1) / (
                     np.sqrt(v / bias2) + eps)
 
-        self._write_back(weights, biases, moments_m, moments_v, steps)
+        if keep_hot:
+            self.hot = (weights, biases, moments_m, moments_v, steps)
+        else:
+            self._write_back(weights, biases, moments_m, moments_v, steps)
+            self.hot = None
         return [float(np.mean(per_client)) for per_client in losses]
 
     def _write_back(self, weights, biases, moments_m, moments_v, steps):
@@ -365,11 +446,79 @@ class BatchedBackend(ExecutionBackend):
         #: reason (a str) so a doomed group is not rebuilt every round
         self._plans: Dict[Tuple[int, ...], Union[_BatchedPlan, str]] = {}
         self.last_fallback: Optional[str] = None
+        #: key of the plan currently holding resident stacked state (at
+        #: most one — hot plans own their clients' authoritative weights,
+        #: so two hot plans sharing a client would desynchronise)
+        self._hot_key: Optional[Tuple[int, ...]] = None
 
     def _serial(self, participants) -> List[float]:
         return [client.local_train() for client in participants]
 
+    # ------------------------------------------------------------------
+    # Resident rounds (persistent-pool workers)
+    # ------------------------------------------------------------------
+    def flush_hot(self) -> None:
+        """Write any resident stacked state back into its clients."""
+        if self._hot_key is not None:
+            plan = self._plans.get(self._hot_key)
+            if isinstance(plan, _BatchedPlan):
+                plan.flush()
+            self._hot_key = None
+
+    def try_resident_round(self, participants, states: Dict[int, Dict]
+                           ) -> Optional[Tuple[List[float], _BatchedPlan]]:
+        """Train a shard on resident stacked state; None = caller fallback.
+
+        ``states`` maps every participant's ``client_id`` to the broadcast
+        state it should train from this round.  On the fast path the states
+        are written straight into the plan's hot stacked tensors — the
+        client objects are neither read nor written, skipping the
+        per-round stack/write-back cycle entirely — and the caller reads
+        the trained parameters back as views via
+        :meth:`_BatchedPlan.client_state`.  Returning ``None`` guarantees
+        the clients are coherent again (any overlapping hot plan has been
+        flushed), so the caller's classic ``set_weights`` + train path is
+        safe.
+        """
+        key = tuple(client.client_id for client in participants)
+        if self._hot_key is not None and self._hot_key != key:
+            self.flush_hot()
+        if len(participants) < 2 or not all(
+                _batchable(client) is None for client in participants) \
+                or not _homogeneous(participants):
+            self.flush_hot()
+            return None
+        plan = self._plans.get(key)
+        if isinstance(plan, str):
+            self.flush_hot()
+            return None
+        if plan is None:
+            if len(self._plans) >= self._MAX_PLANS:
+                self.flush_hot()
+                self._plans.clear()
+            try:
+                plan = _plan_family(participants[0])(participants)
+            except ValueError as error:
+                self._plans[key] = str(error)
+                self.flush_hot()
+                return None
+            self._plans[key] = plan
+        plan.ensure_hot()
+        self._hot_key = key
+        first = states[participants[0].client_id]
+        if all(states[client.client_id] is first
+               for client in participants[1:]):
+            plan.load_shared_state(first)   # uniform broadcast: B× cheaper
+        else:
+            for index, client in enumerate(participants):
+                plan.load_client_state(index, states[client.client_id])
+        losses = plan.run_round(keep_hot=True)
+        return losses, plan
+
     def run_local_training(self, participants):
+        # Classic rounds read and write the client objects directly, so any
+        # resident stacked state must land back in them first.
+        self.flush_hot()
         if len(participants) < 2:
             self.last_fallback = "fewer than two participants"
             return self._serial(participants)
@@ -403,6 +552,7 @@ class BatchedBackend(ExecutionBackend):
         return plan.run_round()
 
     def close(self):
+        self.flush_hot()
         self._plans.clear()
 
 

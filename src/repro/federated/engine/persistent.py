@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import pickle
+import time
 import traceback
 import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 StateDict = Dict[str, np.ndarray]
+
+#: sentinel distinguishing lossy top-k payloads from bit-pattern deltas
+TOPK_MARKER = "__topk__"
+
+#: sentinel marking a whole-shard stacked bit-delta reply: one ``(B, ...)``
+#: uint64 array per parameter instead of ``B`` per-client dicts (fewer
+#: numpy calls and far fewer pickled objects per round)
+STACK_MARKER = "__stacked__"
 
 
 # ----------------------------------------------------------------------
@@ -77,12 +86,111 @@ def apply_state_delta(received: StateDict, delta: Dict[str, np.ndarray]
     return state
 
 
+def encode_stacked_delta(stacks: Dict[str, np.ndarray],
+                         received: Sequence[StateDict]
+                         ) -> Dict[str, np.ndarray]:
+    """Whole-shard bit delta: one vectorised wrap-around diff per parameter.
+
+    ``stacks[name]`` is the trained ``(B, ...)`` parameter stack (a
+    resident batched plan's hot tensors); ``received`` lists each shard
+    client's broadcast state in stack order.  Bit-for-bit equivalent to
+    ``B`` :func:`encode_state_delta` calls, in ``len(stacks)`` numpy ops
+    when the broadcast was uniform (the common FedAvg case).
+    """
+    first = received[0]
+    uniform = all(state is first for state in received)
+    delta = {}
+    for name, stack in stacks.items():
+        if uniform:
+            old = np.ascontiguousarray(first[name], dtype=np.float64)[None]
+        else:
+            old = np.stack([np.asarray(state[name], dtype=np.float64)
+                            for state in received])
+        delta[name] = stack.view(np.uint64) - old.view(np.uint64)
+    return delta
+
+
+def apply_stacked_delta(received: Sequence[StateDict],
+                        delta: Dict[str, np.ndarray]) -> List[StateDict]:
+    """Invert :func:`encode_stacked_delta`; per-client states are views."""
+    first = received[0]
+    uniform = all(state is first for state in received)
+    stacks = {}
+    for name, bits in delta.items():
+        if uniform:
+            old = np.ascontiguousarray(first[name], dtype=np.float64)[None]
+        else:
+            old = np.stack([np.asarray(state[name], dtype=np.float64)
+                            for state in received])
+        stacks[name] = (old.view(np.uint64) + bits).view(np.float64)
+    return [{name: stack[index] for name, stack in stacks.items()}
+            for index in range(len(received))]
+
+
+# ----------------------------------------------------------------------
+# Lossy top-k float deltas (compressed transport)
+# ----------------------------------------------------------------------
+def encode_topk_delta(trained: StateDict, received: StateDict, top_k: int,
+                      residual: Optional[Dict[str, np.ndarray]] = None
+                      ) -> Tuple[Dict, Dict[str, np.ndarray], int]:
+    """Keep only the ``top_k`` largest-magnitude entries of each float delta.
+
+    The delta is taken as ``(trained - received) + residual`` — the residual
+    carries the mass dropped by earlier rounds (error feedback, Stich et
+    al.), so truncation error accumulates into later uploads instead of being
+    lost forever.  Returns ``(payload, new_residual, transported_values)``:
+    the payload maps each parameter to ``(indices, values, shape)``, the new
+    residual is what truncation dropped this round, and
+    ``transported_values`` counts one word per kept index *and* per kept
+    value (what the wire actually carries).
+
+    Unlike the bit codec this is **lossy**: the sender must overwrite its own
+    weights with :func:`apply_topk_delta` of what it shipped so sender and
+    receiver stay in the same (compressed) trajectory.
+    """
+    payload: Dict[str, Tuple] = {}
+    new_residual: Dict[str, np.ndarray] = {}
+    transported = 0
+    for key, new in trained.items():
+        old = np.asarray(received[key], dtype=np.float64)
+        delta = np.asarray(new, dtype=np.float64) - old
+        if residual is not None and key in residual:
+            delta = delta + residual[key]
+        flat = delta.ravel()
+        k = min(int(top_k), flat.size)
+        if k < flat.size:
+            keep = np.argpartition(np.abs(flat), -k)[-k:]
+            keep.sort()
+        else:
+            keep = np.arange(flat.size)
+        values = flat[keep].copy()
+        dropped = delta.copy()
+        dropped.ravel()[keep] = 0.0
+        payload[key] = (keep.astype(np.int64), values, delta.shape)
+        new_residual[key] = dropped
+        transported += 2 * int(keep.size)
+    return payload, new_residual, transported
+
+
+def apply_topk_delta(received: StateDict, payload: Dict) -> StateDict:
+    """Add a sparse top-k delta payload onto the received weights."""
+    state = {}
+    for key, (indices, values, shape) in payload.items():
+        dense = np.asarray(received[key], dtype=np.float64).copy()
+        dense.ravel()[indices] += values
+        state[key] = dense.reshape(shape)
+    return state
+
+
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
 def _train_shard(residents: Dict[int, object], intra_backend,
+                 residuals: Dict[int, Dict[str, np.ndarray]],
                  client_ids: Sequence[int], states: Sequence[StateDict],
-                 assign: Dict[int, int], intra_worker: str
+                 assign: Dict[int, int], intra_worker: str,
+                 codec: Tuple[str, int] = ("bitdelta", 0),
+                 slowdown: float = 1.0
                  ) -> Tuple[Dict[int, float], Dict[int, Dict], Dict]:
     """Worker-side round: load broadcast weights, train the shard, diff.
 
@@ -97,30 +205,88 @@ def _train_shard(residents: Dict[int, object], intra_backend,
     :class:`~repro.federated.engine.batched.BatchedBackend` (which itself
     falls back to the serial loop whenever the shard cannot be fused, and
     whose plan cache persists across rounds).
-    """
-    shard = [residents[cid] for cid in client_ids]
-    received = {}
-    for client in shard:
-        received[client.client_id] = states[assign[client.client_id]]
-        client.set_weights(received[client.client_id])
 
-    if intra_worker == "serial" or len(shard) < 2:
-        mode = "serial"
-        loss_list = [client.local_train() for client in shard]
-    else:
-        loss_list = intra_backend.run_local_training(shard)
-        mode = "batched" if intra_backend.last_fallback is None \
-            else f"serial ({intra_backend.last_fallback})"
+    ``codec`` selects the upload transport: ``("bitdelta", _)`` ships the
+    lossless bit-pattern delta; ``("topk", k)`` ships only the ``k``
+    largest-magnitude float-delta entries per parameter, keeping the dropped
+    mass in ``residuals`` (error feedback) and snapping the worker's own
+    weights onto the truncated trajectory so mirror and worker never
+    diverge.  ``slowdown > 1`` sleeps ``(slowdown - 1) ×`` the shard's
+    measured **CPU** time — the simulated-heterogeneous-hardware knob used
+    by the straggler benchmarks and the deterministic async tests.  The CPU
+    clock (not wall) is the basis so slow hardware costs a fixed multiple of
+    its own compute; wall time on an oversubscribed host includes scheduler
+    contention, which would compound the penalty.
+    """
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    shard = [residents[cid] for cid in client_ids]
+    received = {client_id: states[assign[client_id]]
+                for client_id in client_ids}
+
+    resident_plan = None
+    if intra_worker != "serial" and len(shard) >= 2:
+        # Resident fast path: the broadcast loads straight into the plan's
+        # hot stacked tensors and the trained parameters read back as
+        # views — the shard's client objects are not touched at all.
+        resident = intra_backend.try_resident_round(shard, received)
+        if resident is not None:
+            loss_list, resident_plan = resident
+            mode = "batched"
+
+    if resident_plan is None:
+        if intra_backend is not None:
+            # The classic path reads/writes client objects: any resident
+            # stacked state (e.g. a bigger shard trained hot last round)
+            # must land back in them first.
+            intra_backend.flush_hot()
+        for client in shard:
+            client.set_weights(received[client.client_id])
+        if intra_worker == "serial" or len(shard) < 2:
+            mode = "serial"
+            loss_list = [client.local_train() for client in shard]
+        else:
+            loss_list = intra_backend.run_local_training(shard)
+            mode = "batched" if intra_backend.last_fallback is None \
+                else f"serial ({intra_backend.last_fallback})"
 
     losses, deltas, delta_values = {}, {}, 0
-    for client in shard:
-        cid = client.client_id
-        deltas[cid] = encode_state_delta(client.get_weights(), received[cid])
-        delta_values += sum(v.size for v in deltas[cid].values())
+    if resident_plan is not None and codec[0] != "topk":
+        # One vectorised bit-diff per parameter for the whole shard.
+        stacked = encode_stacked_delta(
+            resident_plan.stacked_params(),
+            [received[cid] for cid in client_ids])
+        deltas = {STACK_MARKER: (list(client_ids), stacked)}
+        delta_values = sum(v.size for v in stacked.values())
+    else:
+        for index, client in enumerate(shard):
+            cid = client.client_id
+            trained = resident_plan.client_state(index) if resident_plan \
+                else client.get_weights()
+            if codec[0] == "topk":
+                payload, residuals[cid], transported = encode_topk_delta(
+                    trained, received[cid], codec[1], residuals.get(cid))
+                deltas[cid] = {TOPK_MARKER: payload}
+                delta_values += transported
+                # Snap onto the truncated trajectory the coordinator sees.
+                truncated = apply_topk_delta(received[cid], payload)
+                if resident_plan is not None:
+                    resident_plan.load_client_state(index, truncated)
+                else:
+                    client.set_weights(truncated)
+            else:
+                deltas[cid] = encode_state_delta(trained, received[cid])
+                delta_values += sum(v.size for v in deltas[cid].values())
     for client, loss in zip(shard, loss_list):
         losses[client.client_id] = loss
+
+    elapsed = time.perf_counter() - start
+    if slowdown > 1.0:
+        penalty = (time.process_time() - cpu_start) * (slowdown - 1.0)
+        time.sleep(penalty)
+        elapsed += penalty
     stats = {"mode": mode, "delta_values": delta_values,
-             "clients": len(shard)}
+             "clients": len(shard), "busy_sec": elapsed}
     return losses, deltas, stats
 
 
@@ -133,6 +299,7 @@ def _worker_loop(conn) -> None:
     coordinator can re-raise with worker context.
     """
     residents: Dict = {}
+    residuals: Dict = {}  # per-client error feedback of the top-k codec
     intra_backend = None  # built lazily, plan cache lives for the process
     while True:
         try:
@@ -151,26 +318,36 @@ def _worker_loop(conn) -> None:
                 if intra_backend is None:
                     from repro.federated.engine.batched import BatchedBackend
                     intra_backend = BatchedBackend()
-                result = _train_shard(residents, intra_backend, *payload)
+                result = _train_shard(residents, intra_backend, residuals,
+                                      *payload)
             elif command == "fetch":
                 # Mutable state of one resident — eviction pulls only the
                 # worker-owned optimizer moments and RNG streams.
                 from repro.federated.engine.backends import (
                     snapshot_client_state)
+                if intra_backend is not None:
+                    intra_backend.flush_hot()
                 cid, drop, with_weights = payload
                 result = snapshot_client_state(residents[cid],
                                                include_weights=with_weights)
                 if drop:
                     del residents[cid]
+                    residuals.pop(cid, None)
             elif command == "fetch_all":
                 from repro.federated.engine.backends import (
                     snapshot_client_state)
+                if intra_backend is not None:
+                    intra_backend.flush_hot()
                 result = {cid: snapshot_client_state(
                               client, include_weights=payload)
                           for cid, client in residents.items()}
             elif command == "call":
                 # Generic escape hatch: run a module-level function against
                 # the resident registry (how AdaFGL Step 2 rides the pool).
+                # Callees read resident client state, so resident stacked
+                # plans must flush first.
+                if intra_backend is not None:
+                    intra_backend.flush_hot()
                 func, args = payload
                 result = func(residents, *args)
             else:
@@ -266,6 +443,24 @@ class PersistentWorkerPool:
     def call(self, worker: int, command: str, payload=None):
         self.send(worker, command, payload)
         return self.recv(worker)
+
+    def wait(self, workers: Sequence[int]) -> List[int]:
+        """Block until ≥1 of the given workers has a reply ready; return them.
+
+        The ``as_completed`` primitive of the pipelined round loop: the
+        coordinator folds whichever shard lands first instead of draining
+        replies in dispatch order behind the slowest worker.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        candidates = list(workers)
+        if not candidates:
+            return []
+        ready = connection_wait([self._conns[worker]
+                                 for worker in candidates])
+        ready_ids = {id(conn) for conn in ready}
+        return [worker for worker in candidates
+                if id(self._conns[worker]) in ready_ids]
 
     def run_batches(self, batches: Dict[int, List[Tuple[str, object]]]
                     ) -> Dict[int, List]:

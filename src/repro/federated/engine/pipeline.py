@@ -1,0 +1,601 @@
+"""Pipelined round execution: streaming sync rounds and bounded-staleness async.
+
+The classic federated round is a lockstep barrier: every worker trains, the
+coordinator idles until the *slowest* shard returns, then the workers idle
+while the coordinator aggregates, evaluates and re-broadcasts.  This module
+replaces that barrier with two round loops built on the persistent pool's
+dispatch/collect protocol (:class:`~repro.federated.engine.backends
+.ProcessPoolBackend`):
+
+* :class:`SyncPipelinedLoop` (``round_mode="sync"``, the default for the
+  process pool) — shard uploads are folded into the running aggregate the
+  moment they arrive (:class:`~repro.federated.engine.aggregation
+  .StreamingAggregate`, so merge cost overlaps straggler compute), and the
+  next round's deduplicated broadcast is dispatched **before** the previous
+  round's evaluation runs, so the coordinator's eval/bookkeeping overlaps
+  worker training.  The fold is order-buffered, which keeps the training
+  history **bitwise-identical to serial execution** — pipelining changes
+  when work happens, never what is computed.
+
+* :class:`AsyncRoundLoop` (``round_mode="async"``) — bounded-staleness
+  asynchronous federated rounds: a worker is re-dispatched with the current
+  global model the moment its shard report lands, the server seals an
+  aggregate after any ``async_buffer`` shard reports, stale reports are
+  merged with the staleness-discounted weight ``w_i / (1 + lag_i)`` (reports
+  older than ``staleness_cap`` server rounds are dropped), and the global
+  model moves by
+
+  ``x_{s+1} = (1 - η_s) · x_s + η_s · Agg(window)``  with
+  ``η_s = Σ_{i ∈ window} w_i/(1+lag_i) / Σ_{all clients} w_j``.
+
+  Worker completion order is driven by a **virtual clock** (shard work units
+  divided by the simulated :attr:`worker_speeds`), so an async run is exactly
+  reproducible: fixed seed + fixed speeds ⇒ identical histories, per-client
+  round lags included (recorded in :attr:`TrainingHistory.client_lag`).
+
+:func:`resolve_round_loop` decides which loop a trainer uses.  Trainers that
+override the round hooks (``before_round`` / ``after_round`` / ``aggregate``)
+keep the lockstep loop — their hooks assume barrier semantics — as do
+backends without the dispatch/collect protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.federated.engine.aggregation import AggregationContext
+
+
+def _uses_default(trainer, name: str) -> bool:
+    """True when the trainer neither overrides nor monkeypatches a hook."""
+    from repro.federated.trainer import FederatedTrainer
+
+    if name in trainer.__dict__:  # instance-level monkeypatch (tests do this)
+        return False
+    return getattr(type(trainer), name) is getattr(FederatedTrainer, name)
+
+
+def resolve_round_loop(trainer):
+    """Pick the round loop for a trainer (``None`` = classic lockstep).
+
+    ``round_mode="async"`` *requires* a pipelining-capable backend and raises
+    otherwise; ``round_mode="sync"`` silently keeps lockstep semantics for
+    backends and trainers the pipeline cannot serve (serial/batched backends,
+    hook-overriding trainers) — the sync pipeline is an execution detail, not
+    an algorithm change.
+    """
+    mode = getattr(trainer.config, "round_mode", "sync")
+    if mode not in ("sync", "async"):
+        raise ValueError(
+            f"round_mode must be 'sync' or 'async', got {mode!r}")
+    backend = trainer.backend
+    if mode == "async":
+        if not getattr(backend, "supports_pipelining", False):
+            raise ValueError(
+                "round_mode='async' requires the process_pool backend "
+                f"(got '{backend.name}')")
+        return AsyncRoundLoop(trainer)
+    if not getattr(backend, "supports_pipelining", False):
+        return None
+    if not all(_uses_default(trainer, hook)
+               for hook in ("before_round", "after_round", "aggregate")):
+        return None
+    return SyncPipelinedLoop(trainer)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _state_size(state: Dict[str, np.ndarray]) -> int:
+    return sum(value.size for value in state.values())
+
+
+def _broadcast(trainer, global_state) -> Dict[int, Dict[str, np.ndarray]]:
+    """Personalize + download-account the new global state to every mirror.
+
+    Returns the per-client personalized states so the next round's dispatch
+    can reuse them (skipping a full-parameter read-back per client, and —
+    when ``personalize`` hands every client the same dict, as plain FedAvg
+    does — letting the broadcast dedup work by object identity).
+    """
+    states: Dict[int, Dict[str, np.ndarray]] = {}
+    for client in trainer.clients:
+        personalized = trainer.personalize(client, global_state)
+        client.set_weights(personalized)
+        states[client.client_id] = personalized
+        trainer.tracker.record_download("model_parameters",
+                                        _state_size(personalized))
+    trainer.tracker.next_round()
+    return states
+
+
+def _record_eval(trainer, round_index: int, losses: Sequence[float],
+                 per_client_lag: Optional[Dict[int, int]] = None,
+                 fused_eval: Optional["_FusedEval"] = None,
+                 shared_state: Optional[Dict[str, np.ndarray]] = None) -> None:
+    if fused_eval is not None and shared_state is not None:
+        fused_eval.refresh(shared_state)
+    train_acc = trainer.evaluate("train")
+    test_acc = trainer.evaluate("test")
+    per_client = {c.client_id: c.evaluate("test") for c in trainer.clients}
+    trainer.history.record(round_index, train_acc, test_acc,
+                           float(np.mean(losses)), per_client,
+                           per_client_lag=per_client_lag)
+
+
+class _FusedEval:
+    """One fused forward filling every client's prediction cache.
+
+    After a plain FedAvg broadcast every mirror holds the *identical*
+    weights, so the per-client evaluation forwards differ only in graph and
+    features.  This plan pads features to ``(B, n_max, f)``, stacks the
+    normalized adjacencies into one block-diagonal operator (both
+    constants, built once per run) and computes every client's class
+    probabilities with one pass of the exact tensor ops the per-client
+    forward uses — probabilities, and therefore every recorded accuracy,
+    are bitwise-identical to serial evaluation.  :meth:`refresh` stamps
+    the result into each client's ``predict`` cache, so the standard
+    evaluation path that follows performs zero forwards.
+
+    Built lazily by :func:`_fused_eval_for`, which returns ``None`` for
+    model families without a fused forward (anything but plain GCN) or
+    heterogeneous parameter shapes — callers then simply fall back to
+    per-client evaluation.
+    """
+
+    def __init__(self, clients):
+        from repro.models.base import prepare_propagation
+
+        self.clients = list(clients)
+        self.sizes = [c.graph.num_nodes for c in clients]
+        self.n_max = max(self.sizes)
+        batch = len(clients)
+        features = np.zeros((batch, self.n_max,
+                             clients[0].graph.num_features))
+        rows, cols, vals = [], [], []
+        for index, client in enumerate(clients):
+            n = client.graph.num_nodes
+            features[index, :n] = client.graph.features
+            prop = prepare_propagation(client.graph.adjacency).tocoo()
+            offset = index * self.n_max
+            rows.append(prop.row + offset)
+            cols.append(prop.col + offset)
+            vals.append(prop.data)
+        total = batch * self.n_max
+        self.propagation = sp.csr_matrix(
+            (np.concatenate(vals),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=(total, total))
+        self.features = features
+        model = clients[0].model
+        self.layer_names = list(model._layer_names)
+
+    def refresh(self, state: Dict[str, np.ndarray]) -> None:
+        """Fill every client's probability cache from the shared weights.
+
+        Mirrors the serial eval forward expression by expression.  The
+        sparse propagation is fused (one block-diagonal product — row
+        results are independent across blocks, so they match the
+        per-client products bit for bit), while the dense linear layers
+        run one GEMM per client on its ``[:n]`` slice: a single padded
+        batched matmul is *not* bit-stable against the per-client call
+        because BLAS kernel blocking depends on the row count.
+        """
+        batch, n_max, _ = self.features.shape
+        hidden = self.features
+        last = len(self.layer_names) - 1
+        for layer, name in enumerate(self.layer_names):
+            flat = hidden.reshape(batch * n_max, hidden.shape[-1])
+            propagated = (self.propagation @ flat).reshape(
+                batch, n_max, hidden.shape[-1])
+            weight = state[f"{name}.weight"]
+            hidden = np.zeros((batch, n_max, weight.shape[1]))
+            for index, n in enumerate(self.sizes):
+                hidden[index, :n] = propagated[index, :n] @ weight
+            hidden = hidden + state[f"{name}.bias"]
+            if layer != last:
+                hidden = hidden * (hidden > 0)   # F.relu's expression
+        shifted = hidden - hidden.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        for index, client in enumerate(self.clients):
+            client._prob_cache = (client._weights_version,
+                                  probs[index, :self.sizes[index]])
+
+
+def _fused_eval_for(trainer) -> Optional[_FusedEval]:
+    """Build a fused evaluation plan when every client supports it."""
+    from repro.models.gcn import GCN
+
+    clients = trainer.clients
+    if len(clients) < 2:
+        return None
+    reference = clients[0]
+    if type(reference.model) is not GCN:
+        return None
+    shapes = {name: p.shape
+              for name, p in reference.model.named_parameters()}
+    for client in clients[1:]:
+        if type(client.model) is not GCN:
+            return None
+        if {name: p.shape
+                for name, p in client.model.named_parameters()} != shapes:
+            return None
+    try:
+        return _FusedEval(clients)
+    except Exception:   # unexpected graph/feature shapes: fall back
+        return None
+
+
+class _UtilizationMeter:
+    """Worker-busy vs wall-clock accounting for one loop run."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.start = time.perf_counter()
+        self._busy_at_start = dict(backend.busy_sec)
+
+    def summary(self) -> Dict:
+        wall = time.perf_counter() - self.start
+        busy = {worker: total - self._busy_at_start.get(worker, 0.0)
+                for worker, total in self.backend.busy_sec.items()}
+        workers = len(busy)
+        utilization = (sum(busy.values()) / (workers * wall)
+                       if workers and wall > 0 else 0.0)
+        return {
+            "wall_sec": wall,
+            "busy_sec": busy,
+            "num_workers": workers,
+            "worker_utilization": utilization,
+        }
+
+
+# ----------------------------------------------------------------------
+# Synchronous streaming pipeline
+# ----------------------------------------------------------------------
+class SyncPipelinedLoop:
+    """Streaming-aggregation round loop, bitwise-identical to lockstep.
+
+    Per round: dispatch the (deduplicated) broadcast to the workers, run the
+    *previous* round's evaluation while they train, train coordinator-side
+    clients, fold shard uploads into the streaming aggregate as they arrive,
+    seal, broadcast — and only then stop to evaluate (one round later, again
+    overlapped).  The only barrier left is the data dependency itself: a
+    round's broadcast cannot leave before its aggregate is sealed.
+    """
+
+    def __init__(self, trainer):
+        self.trainer = trainer
+        self.backend = trainer.backend
+        #: built on first use; None until then, False when unsupported
+        self._fused_eval = None
+
+    def _eval(self, round_index: int, losses: Sequence[float],
+              broadcast_states) -> None:
+        """Record one round's evaluation, fusing the forwards if possible."""
+        shared = None
+        if broadcast_states is not None:
+            states = list(broadcast_states.values())
+            if states and all(state is states[0] for state in states[1:]):
+                shared = states[0]
+        fused = None
+        if shared is not None:
+            if self._fused_eval is None:
+                self._fused_eval = _fused_eval_for(self.trainer) or False
+            fused = self._fused_eval or None
+        _record_eval(self.trainer, round_index, losses,
+                     fused_eval=fused, shared_state=shared)
+
+    def run(self, rounds: int) -> None:
+        trainer = self.trainer
+        backend = self.backend
+        config = trainer.config
+        meter = _UtilizationMeter(backend)
+        straggler_wait = 0.0
+        deferred_eval: Optional[Tuple[int, List[float]]] = None
+        broadcast_states: Optional[Dict[int, Dict[str, np.ndarray]]] = None
+        #: static per-client parameter counts for the logical accounting
+        #: (reading them through ``get_weights`` would copy every array)
+        sizes: Dict[int, int] = {}
+
+        for round_index in range(1, rounds + 1):
+            participants = trainer._select_participants()
+            context = AggregationContext(
+                round_index=round_index, participants=participants,
+                trainer=trainer)
+            trainer._context = context
+            trainer.before_round(round_index, participants)
+
+            pending = backend.dispatch_round(participants,
+                                             states=broadcast_states)
+
+            # The previous round's evaluation overlaps this round's worker
+            # training.  Preferred slot: after the fastest shard lands, when
+            # only the stragglers are still computing/sleeping — collection
+            # defers the mirror update to finish_round, so the eval still
+            # reads the broadcast-state mirrors lockstep would see.
+            # Coordinator-resident clients train in place, so with a local
+            # side (or nothing dispatched) the eval must run right now.
+            if deferred_eval is not None and (
+                    pending.local_side or not pending.outstanding):
+                self._eval(*deferred_eval, broadcast_states)
+                deferred_eval = None
+
+            backend.run_local_side(pending)
+
+            weights = [client.num_samples for client in participants]
+            fold = trainer.strategy.begin_stream(weights, context)
+            index_of = {client.client_id: position
+                        for position, client in enumerate(participants)}
+            if fold is not None:
+                for client in pending.local_side:
+                    fold.add(index_of[client.client_id], client.get_weights())
+            first_wave = True
+            while pending.outstanding:
+                wait_start = time.perf_counter()
+                collected = backend.collect_next(pending)
+                if not first_wave:
+                    # Coordinator time spent blocked on stragglers after
+                    # the streaming fold and the eval ran out of work.
+                    straggler_wait += time.perf_counter() - wait_start
+                if fold is not None:
+                    for cid in collected:
+                        fold.add(index_of[cid], pending.states[cid])
+                if first_wave:
+                    first_wave = False
+                    if deferred_eval is not None:
+                        self._eval(*deferred_eval, broadcast_states)
+                        deferred_eval = None
+            losses = backend.finish_round(pending)
+
+            # Logical upload accounting, identical to the lockstep loop.
+            for client in participants:
+                size = sizes.get(client.client_id)
+                if size is None:
+                    size = sizes[client.client_id] = _state_size(
+                        client.get_weights())
+                trainer.tracker.record_upload("model_parameters", size)
+
+            if fold is not None:
+                global_state = fold.seal()
+                trainer.server.commit(global_state)
+            else:
+                states = [client.get_weights() for client in participants]
+                global_state = trainer.aggregate(states, weights,
+                                                 participants)
+
+            broadcast_states = _broadcast(trainer, global_state)
+            trainer.after_round(round_index, participants)
+
+            if round_index % config.eval_every == 0 or round_index == rounds:
+                # Defer: the eval runs inside the *next* round's straggler
+                # window.
+                deferred_eval = (round_index, losses)
+
+        if deferred_eval is not None:  # final round has nothing to overlap
+            self._eval(*deferred_eval, broadcast_states)
+
+        stats = meter.summary()
+        stats.update({
+            "round_mode": "sync",
+            "rounds": rounds,
+            "straggler_wait_sec": straggler_wait,
+        })
+        backend.last_pipeline_stats = stats
+
+
+# ----------------------------------------------------------------------
+# Bounded-staleness asynchronous rounds
+# ----------------------------------------------------------------------
+class _AsyncJob:
+    """One in-flight shard training job of the async loop."""
+
+    __slots__ = ("pending", "version", "finish_vt")
+
+    def __init__(self, pending, version: int, finish_vt: float):
+        self.pending = pending
+        self.version = version       # server round the broadcast came from
+        self.finish_vt = finish_vt   # virtual completion time
+
+
+class AsyncRoundLoop:
+    """Bounded-staleness asynchronous federated training on the pool.
+
+    A "round" is a server *seal*: the moment ``async_buffer`` shard reports
+    have been merged since the last seal, the window is aggregated with the
+    configured strategy under staleness-discounted weights and mixed into the
+    global model (formula in the module docstring).  Workers never wait for
+    each other — each is re-dispatched with the freshest global model as soon
+    as its report lands — so fast workers contribute more, slightly stale
+    updates count less, and reports older than ``staleness_cap`` seals are
+    dropped entirely.  Completion order follows the simulated worker speeds'
+    virtual clock, making runs exactly reproducible.
+    """
+
+    def __init__(self, trainer):
+        self.trainer = trainer
+        self.backend = trainer.backend
+        config = trainer.config
+        self.buffer_size = int(getattr(config, "async_buffer", 1))
+        self.staleness_cap = int(getattr(config, "staleness_cap", 3))
+        if self.buffer_size < 1:
+            raise ValueError("async_buffer must be >= 1")
+        if self.staleness_cap < 0:
+            raise ValueError("staleness_cap must be >= 0")
+        if config.participation < 1.0:
+            raise ValueError(
+                "round_mode='async' requires full participation "
+                "(every client trains continuously)")
+        # The async loop re-dispatches each shard with the raw sealed
+        # global model and never runs the barrier-round hooks — both
+        # assume lockstep semantics.  Refuse loudly instead of silently
+        # degenerating personalized methods (FED-PUB, GCFL+) or
+        # hook-overriding trainers to plain async FedAvg.
+        from repro.federated.engine.aggregation import AggregationStrategy
+
+        if type(trainer.strategy).personalize \
+                is not AggregationStrategy.personalize:
+            raise ValueError(
+                "round_mode='async' does not support personalized "
+                f"aggregation ('{trainer.strategy.name}' overrides "
+                "personalize); use round_mode='sync'")
+        if not all(_uses_default(trainer, hook)
+                   for hook in ("before_round", "after_round", "aggregate",
+                                "personalize")):
+            raise ValueError(
+                "round_mode='async' does not support trainers overriding "
+                "the barrier-round hooks; use round_mode='sync'")
+
+    # ------------------------------------------------------------------
+    def run(self, rounds: int) -> None:
+        trainer = self.trainer
+        backend = self.backend
+        config = trainer.config
+        clients = trainer.clients
+        if len(clients) < 2:
+            raise ValueError("round_mode='async' needs at least two clients")
+        if any(client.extra_loss is not None for client in clients):
+            raise ValueError(
+                "round_mode='async' requires every client to be picklable "
+                "(no coordinator-resident extra_loss hooks)")
+
+        meter = _UtilizationMeter(backend)
+        backend.ensure_pool()
+        pooled = backend._bootstrap(clients)
+        if len(pooled) != len(clients):
+            raise ValueError(
+                "round_mode='async' requires every client to be picklable")
+        shards: Dict[int, List] = {}
+        for client in clients:
+            shards.setdefault(backend.owner_of(client.client_id),
+                              []).append(client)
+
+        global_state = {key: value.copy()
+                        for key, value in clients[0].get_weights().items()}
+        total_weight = float(sum(client.num_samples for client in clients))
+        virtual_now: Dict[int, float] = {worker: 0.0 for worker in shards}
+        jobs: Dict[int, _AsyncJob] = {}
+        seals = 0
+        window_reports = 0   # merged since the last seal (fills the buffer)
+        total_merged = 0
+        total_dropped = 0
+        window_states: List[Dict[str, np.ndarray]] = []
+        window_weights: List[float] = []
+        window_clients: List = []
+        window_losses: List[float] = []
+        lag_by_client: Dict[int, int] = {}
+        lag_sum = 0
+        lag_max = 0
+
+        def dispatch(worker: int) -> None:
+            # Every shard client trains from the freshest sealed model;
+            # handing dispatch the shared state dict keeps the broadcast
+            # dedup an identity check.
+            for client in shards[worker]:
+                client.set_weights(global_state)
+            pending = backend.dispatch_round(
+                shards[worker],
+                states={client.client_id: global_state
+                        for client in shards[worker]})
+            duration = len(shards[worker]) / backend.worker_speed(worker)
+            jobs[worker] = _AsyncJob(pending, seals,
+                                     virtual_now[worker] + duration)
+
+        for worker in sorted(shards):
+            dispatch(worker)
+
+        while seals < rounds:
+            # Virtual-time event queue: the next report to land is the one
+            # with the earliest simulated completion (ties break on worker
+            # index), independent of real OS scheduling — this is what makes
+            # async runs reproducible.
+            worker = min(jobs, key=lambda w: (jobs[w].finish_vt, w))
+            job = jobs.pop(worker)
+            backend.collect_worker(job.pending, worker)
+            backend.finish_round(job.pending, advance_round=False)
+            virtual_now[worker] = job.finish_vt
+
+            lag = seals - job.version
+            lag_sum += lag
+            lag_max = max(lag_max, lag)
+            for client in shards[worker]:
+                lag_by_client[client.client_id] = lag
+            if lag <= self.staleness_cap:
+                discount = 1.0 / (1.0 + lag)
+                for client in shards[worker]:
+                    window_states.append(
+                        job.pending.states[client.client_id])
+                    window_weights.append(client.num_samples * discount)
+                    window_clients.append(client)
+                    window_losses.append(
+                        job.pending.losses[client.client_id])
+                window_reports += 1
+                total_merged += 1
+            else:
+                total_dropped += 1
+
+            dispatch(worker)  # worker never idles waiting for a seal
+
+            if window_reports >= self.buffer_size:
+                seals += 1
+                global_state = self._seal(
+                    global_state, window_states, window_weights,
+                    window_clients, total_weight, seals)
+                for state in window_states:
+                    trainer.tracker.record_upload(
+                        "model_parameters", _state_size(state))
+                _broadcast(trainer, global_state)
+                backend.transport.next_round()
+                if seals % config.eval_every == 0 or seals == rounds:
+                    _record_eval(trainer, seals, window_losses,
+                                 per_client_lag=dict(lag_by_client))
+                window_states, window_weights = [], []
+                window_clients, window_losses = [], []
+                window_reports = 0
+
+        # Drain in-flight jobs so the pool ends the run reply-balanced (the
+        # close-time optimizer/RNG sync needs strict request→reply pairing);
+        # the drained reports arrived after the last seal and are discarded.
+        for worker in sorted(jobs):
+            job = jobs.pop(worker)
+            backend.collect_worker(job.pending, worker)
+            backend.finish_round(job.pending, advance_round=False)
+        # Mirrors must end the run at the sealed model, not at whichever
+        # half-stale shard states the drain reconstructed.
+        for client in clients:
+            client.set_weights(global_state)
+
+        stats = meter.summary()
+        stats.update({
+            "round_mode": "async",
+            "seals": seals,
+            "async_buffer": self.buffer_size,
+            "staleness_cap": self.staleness_cap,
+            "reports_merged": total_merged,
+            "reports_dropped": total_dropped,
+            "mean_report_lag": lag_sum / max(1, total_merged + total_dropped),
+            "max_report_lag": lag_max,
+            "client_lag": dict(lag_by_client),
+        })
+        backend.last_pipeline_stats = stats
+
+    # ------------------------------------------------------------------
+    def _seal(self, global_state, states, weights, participants,
+              total_weight: float, seal_index: int):
+        """Mix the staleness-discounted window into the global model."""
+        trainer = self.trainer
+        context = AggregationContext(round_index=seal_index,
+                                     participants=list(participants),
+                                     trainer=trainer)
+        trainer._context = context
+        aggregate = trainer.strategy.aggregate(states, weights, context)
+        eta = min(1.0, float(sum(weights)) / total_weight)
+        mixed = {key: (1.0 - eta) * value + eta * aggregate[key]
+                 for key, value in global_state.items()}
+        trainer.server.commit({key: value.copy()
+                               for key, value in mixed.items()})
+        return mixed

@@ -53,6 +53,20 @@ class FederatedConfig:
     a persistent process-pool worker trains its resident client shard:
     ``"auto"``/``"batched"`` fuse the shard through the batched engine when
     possible, ``"serial"`` pins the per-client loop.
+
+    ``round_mode`` selects the round discipline on the process pool:
+    ``"sync"`` (default) runs pipelined-but-exact rounds — streaming
+    aggregation and evaluation overlapped with worker training, histories
+    bitwise-identical to serial; ``"async"`` runs bounded-staleness
+    asynchronous rounds sealed after ``async_buffer`` shard reports, with
+    staleness-discounted merging and reports older than ``staleness_cap``
+    server rounds dropped (see :mod:`repro.federated.engine.pipeline`).
+    ``delta_codec`` picks the upload transport of the persistent pool:
+    ``"bitdelta"`` (lossless IEEE-754 bit deltas) or ``"topk"`` (only the
+    ``delta_top_k`` largest-magnitude delta entries per parameter, with
+    worker-side error feedback).  ``worker_speeds`` assigns simulated
+    relative speeds to the pool's workers (straggler experiments and
+    deterministic async runs).
     """
 
     rounds: int = 20
@@ -66,6 +80,12 @@ class FederatedConfig:
     num_workers: int = 0
     intra_worker: str = "auto"
     aggregation: Union[str, AggregationStrategy] = "fedavg"
+    round_mode: str = "sync"
+    async_buffer: int = 1
+    staleness_cap: int = 3
+    delta_codec: str = "bitdelta"
+    delta_top_k: int = 32
+    worker_speeds: Optional[Sequence[float]] = None
 
 
 class FederatedTrainer:
@@ -102,7 +122,10 @@ class FederatedTrainer:
             self.config.aggregation)
         self.backend: ExecutionBackend = make_backend(
             self.config.backend, num_workers=self.config.num_workers,
-            intra_worker=self.config.intra_worker)
+            intra_worker=self.config.intra_worker,
+            delta_codec=self.config.delta_codec,
+            delta_top_k=self.config.delta_top_k,
+            worker_speeds=self.config.worker_speeds)
         self.backend.bind(self)
         self._context: Optional[AggregationContext] = None
         #: when True (the default) :meth:`run` releases the backend's
@@ -179,6 +202,20 @@ class FederatedTrainer:
         return self.history
 
     def _run_rounds(self, rounds: int) -> None:
+        from repro.federated.engine.pipeline import resolve_round_loop
+
+        # The process pool gets a pipelined loop (streaming aggregation and
+        # eval overlapped with worker training; async when configured);
+        # everything else — and trainers overriding the round hooks — keeps
+        # the reference lockstep loop below.  Sync pipelining is an
+        # execution detail: histories are bitwise-identical either way.
+        loop = resolve_round_loop(self)
+        if loop is not None:
+            loop.run(rounds)
+            return
+        self._run_rounds_lockstep(rounds)
+
+    def _run_rounds_lockstep(self, rounds: int) -> None:
         for round_index in range(1, rounds + 1):
             participants = self._select_participants()
             self._context = AggregationContext(
@@ -210,12 +247,11 @@ class FederatedTrainer:
 
             if round_index % self.config.eval_every == 0 \
                     or round_index == rounds:
-                train_acc = self.evaluate("train")
-                test_acc = self.evaluate("test")
-                per_client = {c.client_id: c.evaluate("test")
-                              for c in self.clients}
-                self.history.record(round_index, train_acc, test_acc,
-                                    float(np.mean(losses)), per_client)
+                # Shared with the pipelined loops: one recording path keeps
+                # the bitwise-parity guarantee a single point of truth.
+                from repro.federated.engine.pipeline import _record_eval
+
+                _record_eval(self, round_index, losses)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -26,14 +26,20 @@ class TrainingHistory:
     test_accuracy: List[float] = field(default_factory=list)
     loss: List[float] = field(default_factory=list)
     client_accuracy: List[Dict[int, float]] = field(default_factory=list)
+    #: per-client round lag at each recorded round — empty dicts for
+    #: synchronous training, populated by the bounded-staleness async loop
+    #: (lag = server rounds between a client's broadcast and its merge)
+    client_lag: List[Dict[int, int]] = field(default_factory=list)
 
     def record(self, round_index: int, train_acc: float, test_acc: float,
-               loss: float, per_client: Optional[Dict[int, float]] = None) -> None:
+               loss: float, per_client: Optional[Dict[int, float]] = None,
+               per_client_lag: Optional[Dict[int, int]] = None) -> None:
         self.rounds.append(round_index)
         self.train_accuracy.append(train_acc)
         self.test_accuracy.append(test_acc)
         self.loss.append(loss)
         self.client_accuracy.append(dict(per_client or {}))
+        self.client_lag.append(dict(per_client_lag or {}))
 
     @property
     def final_test_accuracy(self) -> float:

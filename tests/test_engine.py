@@ -18,7 +18,9 @@ from repro.federated import (
 )
 from repro.federated.engine import (
     BatchedBackend,
+    FedAdagradAggregation,
     FedAdamAggregation,
+    FedYogiAggregation,
     ProcessPoolBackend,
     SerialBackend,
     TopologyWeightedAggregation,
@@ -259,6 +261,82 @@ class TestFedAdam:
         _, fedadam_history = _run(community_clients, "serial", rounds=3,
                                   aggregation="fedadam")
         assert not np.allclose(fedavg_history.loss, fedadam_history.loss)
+
+
+class TestFedYogi:
+    def test_registered(self):
+        assert "fedyogi" in list_aggregations()
+        assert isinstance(make_aggregation("fedyogi"), FedYogiAggregation)
+
+    def test_two_round_hand_computed_trace(self):
+        strategy = FedYogiAggregation(server_lr=0.1, beta1=0.9, beta2=0.99,
+                                      tau=1e-3)
+        # Round 1: adopt the FedAvg result, x₁ = 1, moments zero.
+        out1 = strategy.aggregate([{"w": np.array([1.0])}], [1.0])
+        assert out1["w"][0] == pytest.approx(1.0, abs=0.0)
+        # Round 2: Δ = 1, m = 0.1; Yogi second moment from v=0:
+        # v = 0 - 0.01 · 1 · sign(0 - 1) = +0.01 (same as Adam this round),
+        # x₂ = 1 + 0.1 · 0.1 / (√0.01 + 1e-3).
+        out2 = strategy.aggregate([{"w": np.array([2.0])}], [1.0])
+        x2 = 1.0 + 0.1 * 0.1 / (np.sqrt(0.01) + 1e-3)
+        assert out2["w"][0] == pytest.approx(x2, rel=1e-15)
+        # Round 3 is where Yogi diverges from Adam: the second moment moves
+        # *additively* against sign(v - Δ²), not by exponential decay.
+        out3 = strategy.aggregate([{"w": np.array([0.5])}], [1.0])
+        delta = 0.5 - x2
+        m = 0.9 * 0.1 + 0.1 * delta
+        v = 0.01 - 0.01 * delta * delta * np.sign(0.01 - delta * delta)
+        x3 = x2 + 0.1 * m / (np.sqrt(v) + 1e-3)
+        assert out3["w"][0] == pytest.approx(x3, rel=1e-15)
+
+    def test_differs_from_fedadam_after_round_three(self):
+        # Identical prefixes by construction, then the v recursions split.
+        yogi = FedYogiAggregation()
+        adam = FedAdamAggregation()
+        outs = []
+        for value in (1.0, 2.0, 0.5, 4.0):
+            states = [{"w": np.array([value])}]
+            outs.append((yogi.aggregate(states, [1.0])["w"][0],
+                         adam.aggregate(states, [1.0])["w"][0]))
+        assert outs[0][0] == outs[0][1] and outs[1][0] == outs[1][1]
+        assert outs[3][0] != outs[3][1]
+
+
+class TestFedAdagrad:
+    def test_registered(self):
+        assert "fedadagrad" in list_aggregations()
+        assert isinstance(make_aggregation("fedadagrad"),
+                          FedAdagradAggregation)
+
+    def test_two_round_hand_computed_trace(self):
+        strategy = FedAdagradAggregation(server_lr=0.1, beta1=0.9,
+                                         beta2=0.99, tau=1e-3)
+        # Round 1: adopt the FedAvg result, x₁ = 1, moments zero.
+        out1 = strategy.aggregate([{"w": np.array([1.0])}], [1.0])
+        assert out1["w"][0] == pytest.approx(1.0, abs=0.0)
+        # Round 2: Δ = 1 → m = 0.1, running sum v = 0 + 1 = 1,
+        # x₂ = 1 + 0.1 · 0.1 / (√1 + 1e-3).
+        out2 = strategy.aggregate([{"w": np.array([2.0])}], [1.0])
+        x2 = 1.0 + 0.1 * 0.1 / (1.0 + 1e-3)
+        assert out2["w"][0] == pytest.approx(x2, rel=1e-15)
+        # Round 3: Δ = 0.5 - x₂, m accumulates, v only ever grows.
+        out3 = strategy.aggregate([{"w": np.array([0.5])}], [1.0])
+        delta = 0.5 - x2
+        m = 0.9 * 0.1 + 0.1 * delta
+        v = 1.0 + delta * delta
+        x3 = x2 + 0.1 * m / (np.sqrt(v) + 1e-3)
+        assert out3["w"][0] == pytest.approx(x3, rel=1e-15)
+
+    def test_second_moment_is_monotone(self, rng):
+        strategy = FedAdagradAggregation()
+        strategy.aggregate([{"w": rng.normal(size=4)}], [1.0])
+        previous = None
+        for _ in range(4):
+            strategy.aggregate([{"w": rng.normal(size=4)}], [1.0])
+            current = strategy._v["w"].copy()
+            if previous is not None:
+                assert np.all(current >= previous)
+            previous = current
 
 
 class TestClientSnapshots:
