@@ -11,13 +11,16 @@ Three suites (``--suite``), each writing a JSON artifact under
   ``batched``) on a many-small-clients split, including speedups over serial
   and a loss-parity check (PR 2; the process pool is the persistent-worker
   engine since PR 3 — resident clients, delta-only IPC, intra-worker shard
-  fusion — and ``--model sgc`` exercises the batched SGC family).  Since
-  PR 4 the same artifact also carries a ``straggler`` section (pipelined
-  sync rounds under simulated heterogeneous worker speeds, with a
-  worker-utilization/straggler-wait metric), a ``step1_async`` section
-  (bounded-staleness async rounds: throughput, utilization, per-client
-  round lag, accuracy vs sync) and a ``delta_codec`` section (lossless
-  bit-delta vs lossy top-k upload transport: accuracy vs bytes);
+  fusion — and ``--model sgc|gamlp|gprgnn`` exercises the batched
+  propagation/decoupled-hop families).  Since PR 4 the same artifact also
+  carries a ``straggler`` section (pipelined sync rounds under simulated
+  heterogeneous worker speeds, with a worker-utilization/straggler-wait
+  metric), a ``step1_async`` section (bounded-staleness async rounds:
+  throughput, utilization, per-client round lag, accuracy vs sync) and a
+  ``delta_codec`` section (lossless bit-delta vs lossy top-k and quantised
+  top-k upload transport: accuracy vs bytes); since PR 5 a ``models``
+  section times serial vs batched GAMLP / GPR-GNN on the same split
+  (decoupled-hop plans, ``loss_gap`` must be 0.0);
 * ``topk`` (``BENCH_topk.json``) — accuracy-vs-k curve for
   ``propagation_top_k``, against the dense reference, to pick per-dataset
   defaults.
@@ -272,9 +275,71 @@ def run_step1_backends(num_clients: int = 50, nodes_per_client: int = 40,
     report["delta_codec"] = run_delta_codec(
         graphs, rounds=rounds, local_epochs=local_epochs, hidden=hidden,
         num_workers=num_workers, model=model, seed=seed)
+    # Decoupled-hop plan families (PR 5): serial vs batched GAMLP/GPR-GNN
+    # on the same client split, with the hard loss_gap=0.0 parity bar.
+    report["models"] = run_step1_models(
+        graphs, rounds=rounds, local_epochs=local_epochs, hidden=hidden,
+        seed=seed)
 
     record_json(output_name, report)
     return report
+
+
+def run_step1_models(graphs, models: Sequence[str] = ("gamlp", "gprgnn"),
+                     rounds: int = 10, local_epochs: int = 5,
+                     hidden: int = 32, seed: int = 0,
+                     repeats: int = 3) -> Dict:
+    """Serial vs batched rounds/sec for the decoupled-hop model families.
+
+    GAMLP precomputes the constant hop stack once per plan (zero sparse work
+    in the epoch loop); GPR-GNN fuses its k differentiable hops into one
+    block-diagonal spmm each.  As everywhere in this artifact, arms are
+    interleaved over ``repeats`` passes, each reports its best throughput,
+    and ``loss_gap`` (checked on every pass) must be exactly 0.0 — the
+    batched plans change scheduling, never results.
+    """
+    section: Dict = {}
+    for model in models:
+        best = {"serial": 0.0, "batched": 0.0}
+        accuracy: Dict[str, float] = {}
+        loss_gap = 0.0
+        for _ in range(max(1, repeats)):
+            reference: Optional[List[float]] = None
+            for backend in ("serial", "batched"):
+                config = FederatedConfig(
+                    rounds=rounds, local_epochs=local_epochs, seed=seed,
+                    backend=backend, eval_every=rounds)
+                trainer, history, rounds_per_sec = _timed_step1_run(
+                    graphs, model, hidden, config)
+                if backend == "batched" and \
+                        trainer.backend.last_fallback is not None:
+                    # Fail loudly: a silent serial fallback would be
+                    # recorded as a ~1x "batched" speedup.
+                    raise RuntimeError(
+                        f"batched {model} fell back to serial: "
+                        f"{trainer.backend.last_fallback}")
+                if reference is None:
+                    reference = history.loss
+                loss_gap = max(loss_gap, float(np.max(np.abs(
+                    np.asarray(history.loss) - np.asarray(reference)))))
+                best[backend] = max(best[backend], rounds_per_sec)
+                accuracy[backend] = round(trainer.evaluate("test"), 4)
+        section[model] = {
+            "serial": {"rounds_per_sec": round(best["serial"], 3),
+                       "test_accuracy": accuracy["serial"]},
+            "batched": {
+                "rounds_per_sec": round(best["batched"], 3),
+                "speedup_vs_serial": round(
+                    best["batched"] / best["serial"], 2),
+                "test_accuracy": accuracy["batched"],
+                "loss_gap": loss_gap,
+            },
+        }
+        entry = section[model]["batched"]
+        print(f"step1 {model:8s} batched {entry['rounds_per_sec']:7.2f} "
+              f"rounds/s  ({entry['speedup_vs_serial']:.2f}x serial)  "
+              f"loss_gap {entry['loss_gap']:.2e}")
+    return section
 
 
 def elapsed_per_round(rounds_per_sec: float) -> float:
@@ -406,24 +471,31 @@ def run_step1_async(graphs, rounds: int = 10, local_epochs: int = 5,
 def run_delta_codec(graphs, rounds: int = 10, local_epochs: int = 5,
                     hidden: int = 32, num_workers: int = 2,
                     model: str = "gcn", seed: int = 0,
-                    top_ks: Sequence[int] = (16, 64)) -> Dict:
+                    top_ks: Sequence[int] = (16, 64),
+                    bits_grid: Sequence[int] = (4, 8)) -> Dict:
     """Accuracy-vs-bytes for the upload transport codecs.
 
     The lossless bit-delta ships one 8-byte word per parameter per round;
     ``delta_codec="topk"`` ships only the k largest-magnitude delta entries
-    (index + value words) with worker-side error feedback.  Bytes are read
-    off the same ``backend.transport`` accounting the engine always keeps,
-    so the trade-off point is measured, not estimated.
+    (index + value words) with worker-side error feedback, and
+    ``delta_codec="qtopk"`` additionally packs the kept values into
+    ``delta_bits``-per-value uniform-grid words (the ``bits_grid`` axis, at
+    the largest ``top_ks`` sparsity so the two lossy stages compose).
+    Bytes are read off the same ``backend.transport`` accounting the engine
+    always keeps, so the trade-off point is measured, not estimated.
     """
+    quant_k = int(max(top_ks))
     section: Dict = {"codecs": []}
-    for label, codec, k in ([("bitdelta", "bitdelta", 0)]
-                            + [(f"topk_{k}", "topk", int(k))
-                               for k in top_ks]):
+    for label, codec, k, bits in (
+            [("bitdelta", "bitdelta", 0, 0)]
+            + [(f"topk_{k}", "topk", int(k), 0) for k in top_ks]
+            + [(f"qtopk_{quant_k}_b{bits}", "qtopk", quant_k, int(bits))
+               for bits in bits_grid]):
         config = FederatedConfig(
             rounds=rounds, local_epochs=local_epochs, seed=seed,
             backend="process_pool", num_workers=num_workers,
             eval_every=rounds, delta_codec=codec,
-            delta_top_k=max(1, k))
+            delta_top_k=max(1, k), delta_bits=max(2, bits))
         trainer, history, _ = _timed_step1_run(graphs, model, hidden, config)
         uploaded_values = trainer.backend.transport.uploaded[
             "parameter_delta"]
@@ -434,6 +506,8 @@ def run_delta_codec(graphs, rounds: int = 10, local_epochs: int = 5,
             "test_accuracy": round(trainer.evaluate("test"), 4),
             "final_loss": round(history.loss[-1], 4),
         }
+        if codec == "qtopk":
+            entry["delta_bits"] = int(bits)
         section["codecs"].append(entry)
         print(f"step1 codec {label:10s} "
               f"{entry['upload_mb_total']:7.3f} MB up  "
@@ -569,9 +643,11 @@ def main(argv: Optional[List[str]] = None) -> Dict:
                         help="local epochs per round (step1 suite)")
     parser.add_argument("--workers", type=int, default=2,
                         help="process-pool width (step1 suite)")
-    parser.add_argument("--model", default="gcn", choices=["gcn", "sgc"],
-                        help="federated model (step1 suite; sgc exercises "
-                             "the batched SGC/propagation family)")
+    parser.add_argument("--model", default="gcn",
+                        choices=["gcn", "sgc", "gamlp", "gprgnn"],
+                        help="federated model (step1 suite; sgc/gamlp/"
+                             "gprgnn exercise the batched propagation and "
+                             "decoupled-hop families)")
     parser.add_argument("--async-buffer", type=int, default=1,
                         help="shard reports per server seal "
                              "(step1_async suite)")

@@ -49,10 +49,33 @@ def test_step1_backend_harness_smoke(model):
     # The async section recorded a full lag/utilization profile.
     assert report["step1_async"]["reports_merged"] > 0
     assert report["step1_async"]["per_client_lag"]
-    # The codec section measured the lossless point plus ≥1 lossy point.
+    # The codec section measured the lossless point, ≥1 lossy top-k point
+    # and ≥1 quantised (qtopk) point on the bits axis.
     codecs = {entry["codec"]: entry
               for entry in report["delta_codec"]["codecs"]}
     assert "bitdelta" in codecs and len(codecs) >= 2
+    quantised = [entry for entry in codecs.values()
+                 if entry["codec"].startswith("qtopk")]
+    assert quantised and all("delta_bits" in entry for entry in quantised)
+    # The decoupled-hop plans hold the hard parity bar at toy scale too.
+    for family, entry in report["models"].items():
+        assert entry["batched"]["loss_gap"] == 0.0, family
+        assert entry["batched"]["rounds_per_sec"] > 0
+
+
+@pytest.mark.bench
+def test_step1_decoupled_models_smoke():
+    """Toy-scale batched GAMLP / GPR-GNN suite (CI bench-smoke coverage)."""
+    from benchmarks.bench_perf import make_graph, run_step1_models
+
+    graphs = [make_graph(40, seed=index, num_features=32)
+              for index in range(6)]
+    section = run_step1_models(graphs, rounds=2, local_epochs=2, repeats=1)
+    assert set(section) == {"gamlp", "gprgnn"}
+    for family, entry in section.items():
+        assert entry["batched"]["loss_gap"] == 0.0, family
+        assert entry["serial"]["rounds_per_sec"] > 0
+        assert entry["batched"]["rounds_per_sec"] > 0
 
 
 @pytest.mark.bench

@@ -54,6 +54,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.delta_codec = args.delta_codec
     if getattr(args, "delta_top_k", None) is not None:
         settings.delta_top_k = args.delta_top_k
+    if getattr(args, "delta_bits", None) is not None:
+        settings.delta_bits = args.delta_bits
     return settings
 
 
@@ -94,12 +96,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="async mode: drop reports older than this many "
                              "server rounds")
     parser.add_argument("--delta-codec", default=None,
-                        choices=["bitdelta", "topk"],
+                        choices=["bitdelta", "topk", "qtopk"],
                         help="persistent-pool upload transport: lossless "
-                             "bit deltas or lossy top-k sparsified deltas")
+                             "bit deltas, lossy top-k sparsified deltas, or "
+                             "top-k plus uniform quantisation (qtopk)")
     parser.add_argument("--delta-top-k", type=int, default=None,
                         help="delta entries kept per parameter with "
-                             "--delta-codec topk")
+                             "--delta-codec topk/qtopk")
+    parser.add_argument("--delta-bits", type=int, default=None,
+                        help="bits per transported delta value with "
+                             "--delta-codec qtopk")
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:

@@ -85,7 +85,8 @@ class AdaFGLConfig:
     # bounded-staleness rounds sealed after ``async_buffer`` shard reports
     # with staleness capped at ``staleness_cap`` — and ``delta_codec`` its
     # upload transport ("bitdelta" lossless / "topk" lossy keeping
-    # ``delta_top_k`` entries per parameter with error feedback).
+    # ``delta_top_k`` entries per parameter with error feedback / "qtopk"
+    # additionally quantising kept entries to ``delta_bits`` bits).
     # ``worker_speeds`` simulates heterogeneous worker hardware (straggler
     # benchmarks, deterministic async runs).  Step 2 rides the same
     # (pipelined) pool, so these knobs shape both steps' execution.
@@ -96,6 +97,7 @@ class AdaFGLConfig:
     staleness_cap: int = 3
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
+    delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
 
     # HCS / label propagation.
@@ -124,7 +126,8 @@ class AdaFGLConfig:
             aggregation=self.step1_aggregation,
             round_mode=self.round_mode, async_buffer=self.async_buffer,
             staleness_cap=self.staleness_cap, delta_codec=self.delta_codec,
-            delta_top_k=self.delta_top_k, worker_speeds=self.worker_speeds)
+            delta_top_k=self.delta_top_k, delta_bits=self.delta_bits,
+            worker_speeds=self.worker_speeds)
 
 
 #: fallback sparsity when neither the config nor the dataset registry pins one

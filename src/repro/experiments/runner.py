@@ -63,10 +63,12 @@ class ExperimentSettings:
     round_mode: str = "sync"
     async_buffer: int = 1
     staleness_cap: int = 3
-    #: persistent-pool upload transport: "bitdelta" (lossless) or "topk"
-    #: (lossy, ``delta_top_k`` entries per parameter, error feedback).
+    #: persistent-pool upload transport: "bitdelta" (lossless), "topk"
+    #: (lossy, ``delta_top_k`` entries per parameter, error feedback) or
+    #: "qtopk" (top-k entries quantised to ``delta_bits`` bits per value).
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
+    delta_bits: int = 8
 
     def federated_config(self) -> FederatedConfig:
         backend = self.backend
@@ -83,7 +85,8 @@ class ExperimentSettings:
                                async_buffer=self.async_buffer,
                                staleness_cap=self.staleness_cap,
                                delta_codec=self.delta_codec,
-                               delta_top_k=self.delta_top_k)
+                               delta_top_k=self.delta_top_k,
+                               delta_bits=self.delta_bits)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
         # ``sparse_propagation=True`` is the experiment-runner default since
@@ -109,7 +112,8 @@ class ExperimentSettings:
                               async_buffer=self.async_buffer,
                               staleness_cap=self.staleness_cap,
                               delta_codec=self.delta_codec,
-                              delta_top_k=self.delta_top_k)
+                              delta_top_k=self.delta_top_k,
+                              delta_bits=self.delta_bits)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

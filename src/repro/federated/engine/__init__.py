@@ -45,7 +45,11 @@ from repro.federated.engine.backends import (
     restore_client_state,
     snapshot_client_state,
 )
-from repro.federated.engine.batched import BatchedBackend
+from repro.federated.engine.batched import (
+    BatchedBackend,
+    build_eval_plan,
+    group_states_by_identity,
+)
 from repro.federated.engine.persistent import (
     PersistentWorkerPool,
     WorkerError,
@@ -53,6 +57,7 @@ from repro.federated.engine.persistent import (
     apply_topk_delta,
     encode_state_delta,
     encode_topk_delta,
+    quantise_uniform,
 )
 from repro.federated.engine.pipeline import (
     AsyncRoundLoop,
@@ -81,6 +86,9 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "BatchedBackend",
+    "build_eval_plan",
+    "group_states_by_identity",
+    "quantise_uniform",
     "list_backends",
     "make_backend",
     "register_backend",

@@ -28,6 +28,7 @@ import copy
 import inspect
 import os
 import pickle
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
@@ -174,6 +175,10 @@ class PendingRound:
         #: lets the pipelined loop evaluate the *previous* round — mirrors
         #: still at broadcast state — while stragglers finish)
         self.states: Dict[int, Dict[str, np.ndarray]] = {}
+        #: client_id → wall seconds its shard (or its own in-process train
+        #: call) spent on local epochs this round — the sync pipeline's
+        #: per-client straggler profile (``TrainingHistory.client_round_sec``)
+        self.round_sec: Dict[int, float] = {}
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -216,17 +221,20 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def __init__(self, num_workers: Optional[int] = None,
                  intra_worker: str = "auto", delta_codec: str = "bitdelta",
-                 delta_top_k: int = 32,
+                 delta_top_k: int = 32, delta_bits: int = 8,
                  worker_speeds: Optional[Sequence[float]] = None, **_unused):
         if intra_worker not in ("auto", "batched", "serial"):
             raise ValueError(
                 "intra_worker must be 'auto', 'batched' or 'serial', "
                 f"got {intra_worker!r}")
-        if delta_codec not in ("bitdelta", "topk"):
+        if delta_codec not in ("bitdelta", "topk", "qtopk"):
             raise ValueError(
-                f"delta_codec must be 'bitdelta' or 'topk', got {delta_codec!r}")
-        if delta_codec == "topk" and delta_top_k < 1:
+                "delta_codec must be 'bitdelta', 'topk' or 'qtopk', "
+                f"got {delta_codec!r}")
+        if delta_codec in ("topk", "qtopk") and delta_top_k < 1:
             raise ValueError("delta_top_k must be >= 1")
+        if delta_codec == "qtopk" and not 2 <= int(delta_bits) <= 32:
+            raise ValueError("delta_bits must be in [2, 32]")
         if worker_speeds is not None:
             worker_speeds = [float(s) for s in worker_speeds]
             if not worker_speeds or any(s <= 0 for s in worker_speeds):
@@ -235,6 +243,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.intra_worker = intra_worker
         self.delta_codec = delta_codec
         self.delta_top_k = delta_top_k
+        self.delta_bits = int(delta_bits)
         self.worker_speeds = worker_speeds
         self.transport = CommunicationTracker()
         #: cumulative worker-reported busy seconds (training + simulated
@@ -432,7 +441,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 pending.sent[cid] = state
             if by_identity is not None:
                 by_identity[id(state)] = assign[cid]
-        codec = (self.delta_codec, self.delta_top_k)
+        codec = (self.delta_codec, self.delta_top_k, self.delta_bits)
         for worker, ids in groups.items():
             used = sorted({assign[cid] for cid in ids})
             local_index = {u: i for i, u in enumerate(used)}
@@ -451,7 +460,10 @@ class ProcessPoolBackend(ExecutionBackend):
     def run_local_side(self, pending: "PendingRound") -> None:
         """Train the coordinator-resident clients (while workers run)."""
         for client in pending.local_side:
+            start = time.perf_counter()
             pending.losses[client.client_id] = client.local_train()
+            pending.round_sec[client.client_id] = \
+                time.perf_counter() - start
 
     def collect_worker(self, pending: "PendingRound", worker: int) -> List[int]:
         """Absorb one worker's shard report: reconstruct states, account IPC.
@@ -490,6 +502,10 @@ class ProcessPoolBackend(ExecutionBackend):
                                      stats["delta_values"])
         self.busy_sec[worker] = self.busy_sec.get(worker, 0.0) \
             + stats.get("busy_sec", 0.0)
+        # Every shard member shares its shard's wall time — the resolution
+        # the straggler profile actually has (shards train as one unit).
+        for cid in ids:
+            pending.round_sec[cid] = stats.get("busy_sec", 0.0)
         pending.outstanding.discard(worker)
         return ids
 

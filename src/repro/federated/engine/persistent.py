@@ -128,21 +128,46 @@ def apply_stacked_delta(received: Sequence[StateDict],
 
 
 # ----------------------------------------------------------------------
-# Lossy top-k float deltas (compressed transport)
+# Lossy top-k float deltas (compressed transport, optionally quantised)
 # ----------------------------------------------------------------------
+def quantise_uniform(values: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric uniform quantiser: snap to ``2^(bits-1) - 1`` signed levels.
+
+    Per call the scale is the largest magnitude present, so the payload is
+    ``bits`` per value plus one float scale — the classic QSGD-style uniform
+    grid.  Dequantised values are returned (the float each side reconstructs
+    from the wire integers), keeping sender and receiver in lockstep.
+    """
+    if bits < 2 or bits > 32:
+        raise ValueError("delta_bits must be in [2, 32]")
+    if values.size == 0:
+        return values
+    scale = float(np.abs(values).max())
+    if scale == 0.0:
+        return values
+    levels = float(2 ** (bits - 1) - 1)
+    return np.round(values / scale * levels) * (scale / levels)
+
+
 def encode_topk_delta(trained: StateDict, received: StateDict, top_k: int,
-                      residual: Optional[Dict[str, np.ndarray]] = None
+                      residual: Optional[Dict[str, np.ndarray]] = None,
+                      bits: Optional[int] = None
                       ) -> Tuple[Dict, Dict[str, np.ndarray], int]:
     """Keep only the ``top_k`` largest-magnitude entries of each float delta.
 
     The delta is taken as ``(trained - received) + residual`` — the residual
     carries the mass dropped by earlier rounds (error feedback, Stich et
     al.), so truncation error accumulates into later uploads instead of being
-    lost forever.  Returns ``(payload, new_residual, transported_values)``:
-    the payload maps each parameter to ``(indices, values, shape)``, the new
-    residual is what truncation dropped this round, and
-    ``transported_values`` counts one word per kept index *and* per kept
-    value (what the wire actually carries).
+    lost forever.  With ``bits`` set the kept values are additionally pushed
+    through :func:`quantise_uniform` (the ``qtopk`` codec) and the
+    quantisation error joins the dropped mass in the residual, so *both*
+    lossy stages feed back.  Returns ``(payload, new_residual,
+    transported_values)``: the payload maps each parameter to ``(indices,
+    values, shape)``, the new residual is what truncation/quantisation
+    dropped this round, and ``transported_values`` counts 8-byte words on
+    the wire — one per kept index plus, per parameter, either one word per
+    kept value (float transport) or ``⌈k · bits / 64⌉`` packed words and
+    one scale word (quantised transport).
 
     Unlike the bit codec this is **lossy**: the sender must overwrite its own
     weights with :func:`apply_topk_delta` of what it shipped so sender and
@@ -164,11 +189,19 @@ def encode_topk_delta(trained: StateDict, received: StateDict, top_k: int,
         else:
             keep = np.arange(flat.size)
         values = flat[keep].copy()
+        if bits is not None:
+            values = quantise_uniform(values, bits)
         dropped = delta.copy()
-        dropped.ravel()[keep] = 0.0
+        # Kept entries keep only their quantisation error (exactly 0.0 when
+        # the transport is float), everything else keeps its full mass.
+        dropped.ravel()[keep] = flat[keep] - values
         payload[key] = (keep.astype(np.int64), values, delta.shape)
         new_residual[key] = dropped
-        transported += 2 * int(keep.size)
+        if bits is None:
+            transported += 2 * int(keep.size)
+        else:
+            transported += int(keep.size) \
+                + -(-int(keep.size) * int(bits) // 64) + 1
     return payload, new_residual, transported
 
 
@@ -189,7 +222,7 @@ def _train_shard(residents: Dict[int, object], intra_backend,
                  residuals: Dict[int, Dict[str, np.ndarray]],
                  client_ids: Sequence[int], states: Sequence[StateDict],
                  assign: Dict[int, int], intra_worker: str,
-                 codec: Tuple[str, int] = ("bitdelta", 0),
+                 codec: Tuple[str, int, int] = ("bitdelta", 0, 0),
                  slowdown: float = 1.0
                  ) -> Tuple[Dict[int, float], Dict[int, Dict], Dict]:
     """Worker-side round: load broadcast weights, train the shard, diff.
@@ -206,12 +239,14 @@ def _train_shard(residents: Dict[int, object], intra_backend,
     falls back to the serial loop whenever the shard cannot be fused, and
     whose plan cache persists across rounds).
 
-    ``codec`` selects the upload transport: ``("bitdelta", _)`` ships the
-    lossless bit-pattern delta; ``("topk", k)`` ships only the ``k``
-    largest-magnitude float-delta entries per parameter, keeping the dropped
-    mass in ``residuals`` (error feedback) and snapping the worker's own
-    weights onto the truncated trajectory so mirror and worker never
-    diverge.  ``slowdown > 1`` sleeps ``(slowdown - 1) ×`` the shard's
+    ``codec`` is ``(name, top_k, bits)`` and selects the upload transport:
+    ``"bitdelta"`` ships the lossless bit-pattern delta; ``"topk"`` ships
+    only the ``top_k`` largest-magnitude float-delta entries per parameter;
+    ``"qtopk"`` additionally snaps the kept values onto a ``bits``-per-value
+    uniform grid.  Both lossy codecs keep the dropped/quantised mass in
+    ``residuals`` (error feedback) and snap the worker's own weights onto
+    the truncated trajectory so mirror and worker never diverge.
+    ``slowdown > 1`` sleeps ``(slowdown - 1) ×`` the shard's
     measured **CPU** time — the simulated-heterogeneous-hardware knob used
     by the straggler benchmarks and the deterministic async tests.  The CPU
     clock (not wall) is the basis so slow hardware costs a fixed multiple of
@@ -250,8 +285,10 @@ def _train_shard(residents: Dict[int, object], intra_backend,
             mode = "batched" if intra_backend.last_fallback is None \
                 else f"serial ({intra_backend.last_fallback})"
 
+    lossy = codec[0] in ("topk", "qtopk")
+    quant_bits = codec[2] if codec[0] == "qtopk" else None
     losses, deltas, delta_values = {}, {}, 0
-    if resident_plan is not None and codec[0] != "topk":
+    if resident_plan is not None and not lossy:
         # One vectorised bit-diff per parameter for the whole shard.
         stacked = encode_stacked_delta(
             resident_plan.stacked_params(),
@@ -263,9 +300,10 @@ def _train_shard(residents: Dict[int, object], intra_backend,
             cid = client.client_id
             trained = resident_plan.client_state(index) if resident_plan \
                 else client.get_weights()
-            if codec[0] == "topk":
+            if lossy:
                 payload, residuals[cid], transported = encode_topk_delta(
-                    trained, received[cid], codec[1], residuals.get(cid))
+                    trained, received[cid], codec[1], residuals.get(cid),
+                    bits=quant_bits)
                 deltas[cid] = {TOPK_MARKER: payload}
                 delta_values += transported
                 # Snap onto the truncated trajectory the coordinator sees.

@@ -45,7 +45,6 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.federated.engine.aggregation import AggregationContext
 
@@ -115,120 +114,38 @@ def _broadcast(trainer, global_state) -> Dict[int, Dict[str, np.ndarray]]:
 
 def _record_eval(trainer, round_index: int, losses: Sequence[float],
                  per_client_lag: Optional[Dict[int, int]] = None,
-                 fused_eval: Optional["_FusedEval"] = None,
-                 shared_state: Optional[Dict[str, np.ndarray]] = None) -> None:
-    if fused_eval is not None and shared_state is not None:
-        fused_eval.refresh(shared_state)
+                 fused_eval=None,
+                 broadcast_states: Optional[Dict[int, Dict[str, np.ndarray]]]
+                 = None,
+                 per_client_round_sec: Optional[Dict[int, float]] = None
+                 ) -> None:
+    if fused_eval is not None and broadcast_states is not None:
+        # One fused sweep fills every prediction cache; works for uniform
+        # and personalized (per-cluster / per-client) broadcasts alike.
+        fused_eval.refresh([broadcast_states[client.client_id]
+                            for client in fused_eval.clients])
     train_acc = trainer.evaluate("train")
     test_acc = trainer.evaluate("test")
     per_client = {c.client_id: c.evaluate("test") for c in trainer.clients}
     trainer.history.record(round_index, train_acc, test_acc,
                            float(np.mean(losses)), per_client,
-                           per_client_lag=per_client_lag)
+                           per_client_lag=per_client_lag,
+                           per_client_round_sec=per_client_round_sec)
 
 
-class _FusedEval:
-    """One fused forward filling every client's prediction cache.
+def _fused_eval_for(trainer):
+    """Build a fused evaluation plan when every client supports it.
 
-    After a plain FedAvg broadcast every mirror holds the *identical*
-    weights, so the per-client evaluation forwards differ only in graph and
-    features.  This plan pads features to ``(B, n_max, f)``, stacks the
-    normalized adjacencies into one block-diagonal operator (both
-    constants, built once per run) and computes every client's class
-    probabilities with one pass of the exact tensor ops the per-client
-    forward uses — probabilities, and therefore every recorded accuracy,
-    are bitwise-identical to serial evaluation.  :meth:`refresh` stamps
-    the result into each client's ``predict`` cache, so the standard
-    evaluation path that follows performs zero forwards.
-
-    Built lazily by :func:`_fused_eval_for`, which returns ``None`` for
-    model families without a fused forward (anything but plain GCN) or
-    heterogeneous parameter shapes — callers then simply fall back to
-    per-client evaluation.
+    Delegates to the batched engine's eval-plan families
+    (:func:`repro.federated.engine.batched.build_eval_plan`): GCN, SGC,
+    GAMLP and GPR-GNN all evaluate through one fused no-grad sweep whose
+    probabilities are bitwise-identical to the per-client forwards.
+    Returns ``None`` (→ per-client fallback) for other model families or
+    heterogeneous shapes.
     """
+    from repro.federated.engine.batched import build_eval_plan
 
-    def __init__(self, clients):
-        from repro.models.base import prepare_propagation
-
-        self.clients = list(clients)
-        self.sizes = [c.graph.num_nodes for c in clients]
-        self.n_max = max(self.sizes)
-        batch = len(clients)
-        features = np.zeros((batch, self.n_max,
-                             clients[0].graph.num_features))
-        rows, cols, vals = [], [], []
-        for index, client in enumerate(clients):
-            n = client.graph.num_nodes
-            features[index, :n] = client.graph.features
-            prop = prepare_propagation(client.graph.adjacency).tocoo()
-            offset = index * self.n_max
-            rows.append(prop.row + offset)
-            cols.append(prop.col + offset)
-            vals.append(prop.data)
-        total = batch * self.n_max
-        self.propagation = sp.csr_matrix(
-            (np.concatenate(vals),
-             (np.concatenate(rows), np.concatenate(cols))),
-            shape=(total, total))
-        self.features = features
-        model = clients[0].model
-        self.layer_names = list(model._layer_names)
-
-    def refresh(self, state: Dict[str, np.ndarray]) -> None:
-        """Fill every client's probability cache from the shared weights.
-
-        Mirrors the serial eval forward expression by expression.  The
-        sparse propagation is fused (one block-diagonal product — row
-        results are independent across blocks, so they match the
-        per-client products bit for bit), while the dense linear layers
-        run one GEMM per client on its ``[:n]`` slice: a single padded
-        batched matmul is *not* bit-stable against the per-client call
-        because BLAS kernel blocking depends on the row count.
-        """
-        batch, n_max, _ = self.features.shape
-        hidden = self.features
-        last = len(self.layer_names) - 1
-        for layer, name in enumerate(self.layer_names):
-            flat = hidden.reshape(batch * n_max, hidden.shape[-1])
-            propagated = (self.propagation @ flat).reshape(
-                batch, n_max, hidden.shape[-1])
-            weight = state[f"{name}.weight"]
-            hidden = np.zeros((batch, n_max, weight.shape[1]))
-            for index, n in enumerate(self.sizes):
-                hidden[index, :n] = propagated[index, :n] @ weight
-            hidden = hidden + state[f"{name}.bias"]
-            if layer != last:
-                hidden = hidden * (hidden > 0)   # F.relu's expression
-        shifted = hidden - hidden.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        probs = exp / exp.sum(axis=-1, keepdims=True)
-        for index, client in enumerate(self.clients):
-            client._prob_cache = (client._weights_version,
-                                  probs[index, :self.sizes[index]])
-
-
-def _fused_eval_for(trainer) -> Optional[_FusedEval]:
-    """Build a fused evaluation plan when every client supports it."""
-    from repro.models.gcn import GCN
-
-    clients = trainer.clients
-    if len(clients) < 2:
-        return None
-    reference = clients[0]
-    if type(reference.model) is not GCN:
-        return None
-    shapes = {name: p.shape
-              for name, p in reference.model.named_parameters()}
-    for client in clients[1:]:
-        if type(client.model) is not GCN:
-            return None
-        if {name: p.shape
-                for name, p in client.model.named_parameters()} != shapes:
-            return None
-    try:
-        return _FusedEval(clients)
-    except Exception:   # unexpected graph/feature shapes: fall back
-        return None
+    return build_eval_plan(trainer.clients)
 
 
 class _UtilizationMeter:
@@ -275,20 +192,29 @@ class SyncPipelinedLoop:
         self._fused_eval = None
 
     def _eval(self, round_index: int, losses: Sequence[float],
+              round_sec: Optional[Dict[int, float]],
               broadcast_states) -> None:
-        """Record one round's evaluation, fusing the forwards if possible."""
-        shared = None
-        if broadcast_states is not None:
-            states = list(broadcast_states.values())
-            if states and all(state is states[0] for state in states[1:]):
-                shared = states[0]
+        """Record one round's evaluation, fusing the forwards if possible.
+
+        The fused sweep needs one broadcast state per client; uniform
+        FedAvg broadcasts and personalized per-cluster states (FED-PUB,
+        GCFL+) both qualify — states are handled group-wise inside the
+        plan, so personalized runs no longer fall back to per-client
+        evaluation forwards.
+        """
+        states = broadcast_states
+        if states is not None and any(
+                client.client_id not in states
+                for client in self.trainer.clients):
+            states = None
         fused = None
-        if shared is not None:
+        if states is not None:
             if self._fused_eval is None:
                 self._fused_eval = _fused_eval_for(self.trainer) or False
             fused = self._fused_eval or None
         _record_eval(self.trainer, round_index, losses,
-                     fused_eval=fused, shared_state=shared)
+                     fused_eval=fused, broadcast_states=states,
+                     per_client_round_sec=round_sec)
 
     def run(self, rounds: int) -> None:
         trainer = self.trainer
@@ -296,7 +222,8 @@ class SyncPipelinedLoop:
         config = trainer.config
         meter = _UtilizationMeter(backend)
         straggler_wait = 0.0
-        deferred_eval: Optional[Tuple[int, List[float]]] = None
+        deferred_eval: Optional[Tuple[int, List[float],
+                                      Dict[int, float]]] = None
         broadcast_states: Optional[Dict[int, Dict[str, np.ndarray]]] = None
         #: static per-client parameter counts for the logical accounting
         #: (reading them through ``get_weights`` would copy every array)
@@ -374,7 +301,8 @@ class SyncPipelinedLoop:
             if round_index % config.eval_every == 0 or round_index == rounds:
                 # Defer: the eval runs inside the *next* round's straggler
                 # window.
-                deferred_eval = (round_index, losses)
+                deferred_eval = (round_index, losses,
+                                 dict(pending.round_sec))
 
         if deferred_eval is not None:  # final round has nothing to overlap
             self._eval(*deferred_eval, broadcast_states)
@@ -384,6 +312,8 @@ class SyncPipelinedLoop:
             "round_mode": "sync",
             "rounds": rounds,
             "straggler_wait_sec": straggler_wait,
+            "fused_eval": type(self._fused_eval).__name__
+            if self._fused_eval else None,
         })
         backend.last_pipeline_stats = stats
 

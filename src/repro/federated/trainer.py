@@ -62,11 +62,13 @@ class FederatedConfig:
     staleness-discounted merging and reports older than ``staleness_cap``
     server rounds dropped (see :mod:`repro.federated.engine.pipeline`).
     ``delta_codec`` picks the upload transport of the persistent pool:
-    ``"bitdelta"`` (lossless IEEE-754 bit deltas) or ``"topk"`` (only the
+    ``"bitdelta"`` (lossless IEEE-754 bit deltas), ``"topk"`` (only the
     ``delta_top_k`` largest-magnitude delta entries per parameter, with
-    worker-side error feedback).  ``worker_speeds`` assigns simulated
-    relative speeds to the pool's workers (straggler experiments and
-    deterministic async runs).
+    worker-side error feedback) or ``"qtopk"`` (top-k entries additionally
+    quantised to ``delta_bits`` bits per value on a uniform grid, the
+    quantisation error joining the error feedback).  ``worker_speeds``
+    assigns simulated relative speeds to the pool's workers (straggler
+    experiments and deterministic async runs).
     """
 
     rounds: int = 20
@@ -85,6 +87,7 @@ class FederatedConfig:
     staleness_cap: int = 3
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
+    delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
 
 
@@ -125,6 +128,7 @@ class FederatedTrainer:
             intra_worker=self.config.intra_worker,
             delta_codec=self.config.delta_codec,
             delta_top_k=self.config.delta_top_k,
+            delta_bits=self.config.delta_bits,
             worker_speeds=self.config.worker_speeds)
         self.backend.bind(self)
         self._context: Optional[AggregationContext] = None

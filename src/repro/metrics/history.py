@@ -30,16 +30,25 @@ class TrainingHistory:
     #: synchronous training, populated by the bounded-staleness async loop
     #: (lag = server rounds between a client's broadcast and its merge)
     client_lag: List[Dict[int, int]] = field(default_factory=list)
+    #: per-client round wall-time (seconds the client's shard spent on its
+    #: local epochs that round) at each recorded round — populated by the
+    #: pipelined sync loop, giving straggler profiles the same per-client
+    #: resolution :attr:`client_lag` gives async runs; empty dicts for the
+    #: lockstep/serial loops
+    client_round_sec: List[Dict[int, float]] = field(default_factory=list)
 
     def record(self, round_index: int, train_acc: float, test_acc: float,
                loss: float, per_client: Optional[Dict[int, float]] = None,
-               per_client_lag: Optional[Dict[int, int]] = None) -> None:
+               per_client_lag: Optional[Dict[int, int]] = None,
+               per_client_round_sec: Optional[Dict[int, float]] = None
+               ) -> None:
         self.rounds.append(round_index)
         self.train_accuracy.append(train_acc)
         self.test_accuracy.append(test_acc)
         self.loss.append(loss)
         self.client_accuracy.append(dict(per_client or {}))
         self.client_lag.append(dict(per_client_lag or {}))
+        self.client_round_sec.append(dict(per_client_round_sec or {}))
 
     @property
     def final_test_accuracy(self) -> float:

@@ -31,6 +31,7 @@ class GraphModel(Module):
     def __init__(self):
         super().__init__()
         self._prop_cache: Dict[int, sp.csr_matrix] = {}
+        self._prop_cache_t: Dict[int, sp.csr_matrix] = {}
 
     def propagation_matrix(self, adjacency: sp.spmatrix,
                            r: float = 0.5) -> sp.csr_matrix:
@@ -41,6 +42,23 @@ class GraphModel(Module):
                 self._prop_cache.clear()
             self._prop_cache[key] = prepare_propagation(adjacency, r=r)
         return self._prop_cache[key]
+
+    def propagation_matrix_t(self, adjacency: sp.spmatrix,
+                             r: float = 0.5) -> sp.csr_matrix:
+        """CSR transpose of :meth:`propagation_matrix`, cached alongside it.
+
+        The hot operand of every ``spmm`` backward (``P̃ᵀ @ grad``): passing
+        it as ``adjacency_t`` replaces the per-backward CSC product with a
+        cached CSR one.  Both accumulate each output row's contributions in
+        ascending source-row order, so results are bitwise-unchanged.
+        """
+        key = id(adjacency)
+        if key not in self._prop_cache_t:
+            if len(self._prop_cache_t) > 8:
+                self._prop_cache_t.clear()
+            self._prop_cache_t[key] = \
+                self.propagation_matrix(adjacency, r=r).T.tocsr()
+        return self._prop_cache_t[key]
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         raise NotImplementedError

@@ -34,10 +34,15 @@ class GPRGNN(GraphModel):
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         prop = self.propagation_matrix(adjacency)
+        # Unlike GAMLP the hops act on the *learned* transform, so the chain
+        # itself cannot be cached across epochs; the parameter-free constant
+        # is the operator pair — cache P̃ᵀ in CSR form so every one of the
+        # k spmm backwards reuses it instead of re-deriving a transpose.
+        prop_t = self.propagation_matrix_t(adjacency)
         h = self.transform(x)
         out = h * self.gamma[0]
         current = h
         for step in range(1, self.k + 1):
-            current = F.spmm(prop, current)
+            current = F.spmm(prop, current, adjacency_t=prop_t)
             out = out + current * self.gamma[step]
         return out

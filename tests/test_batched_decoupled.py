@@ -1,0 +1,314 @@
+"""Tests for the decoupled-hop batched plans and the fused eval family.
+
+Covers bitwise parity of batched GAMLP / GPR-GNN against serial training
+(plain batched backend, persistent-pool intra-worker fusion, and the fused
+coordinator-eval paths), group-wise personalized broadcasts (FED-PUB /
+GCFL+ riding the fused eval instead of per-client forwards), the quantised
+``qtopk`` delta transport, and the sync pipeline's per-shard round
+wall-time histories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSBMConfig, generate_csbm, make_split_masks
+from repro.federated import FederatedConfig, ProcessPoolBackend
+from repro.federated.engine import (
+    build_eval_plan,
+    encode_topk_delta,
+    group_states_by_identity,
+    quantise_uniform,
+)
+from repro.federated.engine.batched import (
+    _BatchedGAMLPPlan,
+    _BatchedGPRGNNPlan,
+)
+from repro.federated.engine.persistent import apply_topk_delta
+from repro.fgl import build_baseline
+from repro.fgl.fedgnn import FederatedGNN
+
+DECOUPLED = ["gamlp", "gprgnn"]
+EVAL_FAMILIES = ["gcn", "sgc", "gamlp", "gprgnn"]
+PLAN_OF = {"gamlp": _BatchedGAMLPPlan, "gprgnn": _BatchedGPRGNNPlan}
+
+
+@pytest.fixture(scope="module")
+def equal_clients():
+    """Four equal-size client graphs: no padding, strict bitwise regime."""
+    graphs = []
+    for index in range(4):
+        config = CSBMConfig(
+            num_nodes=50, num_classes=3, num_features=16, avg_degree=6.0,
+            edge_homophily=0.7, feature_signal=1.2, blocks_per_class=1,
+            seed=10 + index, name=f"equal-{index}")
+        graph = generate_csbm(config)
+        make_split_masks(graph, 0.5, 0.25, 0.25, seed=index)
+        graph.metadata["num_classes"] = 3
+        graphs.append(graph)
+    return graphs
+
+
+def _config(backend="serial", rounds=3, **kwargs):
+    defaults = dict(rounds=rounds, local_epochs=2, lr=0.02, seed=0,
+                    backend=backend,
+                    num_workers=2 if backend == "process_pool" else 0)
+    defaults.update(kwargs)
+    return FederatedConfig(**defaults)
+
+
+def _run(clients, backend, model, **kwargs):
+    trainer = FederatedGNN(clients, model, hidden=16,
+                           config=_config(backend, **kwargs))
+    history = trainer.run()
+    return trainer, history
+
+
+def _assert_bitwise(a, b):
+    assert a.rounds == b.rounds
+    np.testing.assert_array_equal(a.loss, b.loss)
+    np.testing.assert_array_equal(a.test_accuracy, b.test_accuracy)
+    np.testing.assert_array_equal(a.train_accuracy, b.train_accuracy)
+
+
+class TestBatchedDecoupledParity:
+    """Batched GAMLP / GPR-GNN reproduce serial training."""
+
+    @pytest.mark.parametrize("model", DECOUPLED)
+    def test_history_bitwise_vs_serial(self, model, equal_clients):
+        _, serial_history = _run(equal_clients, "serial", model)
+        trainer, batched_history = _run(equal_clients, "batched", model)
+        assert trainer.backend.last_fallback is None
+        _assert_bitwise(serial_history, batched_history)
+
+    @pytest.mark.parametrize("model", DECOUPLED)
+    def test_uneven_clients_within_tolerance(self, model, community_clients):
+        # Padded shards accumulate at most BLAS-blocking ulps; histories
+        # must stay inside the batched engine's equivalence tolerance.
+        _, serial_history = _run(community_clients, "serial", model)
+        trainer, batched_history = _run(community_clients, "batched", model)
+        assert trainer.backend.last_fallback is None
+        np.testing.assert_allclose(batched_history.loss, serial_history.loss,
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(batched_history.test_accuracy,
+                                   serial_history.test_accuracy, atol=1e-12)
+
+    @pytest.mark.parametrize("model", DECOUPLED)
+    def test_final_weights_match_serial(self, model, equal_clients):
+        serial_trainer, _ = _run(equal_clients, "serial", model)
+        batched_trainer, _ = _run(equal_clients, "batched", model)
+        for a, b in zip(serial_trainer.clients, batched_trainer.clients):
+            state_a, state_b = a.get_weights(), b.get_weights()
+            for key in state_a:
+                np.testing.assert_allclose(state_a[key], state_b[key],
+                                           rtol=1e-9, atol=1e-12)
+
+    def test_gamlp_hop_stack_precomputed_once(self, equal_clients):
+        trainer = FederatedGNN(equal_clients, "gamlp", hidden=16,
+                               config=_config("batched"))
+        with trainer:
+            trainer.run()
+            plans = [plan for plan in trainer.backend._plans.values()
+                     if isinstance(plan, _BatchedGAMLPPlan)]
+            assert len(plans) == 1
+            # [x, P̃x, …, P̃ᵏx]: k+1 constant stacked blocks live on the plan.
+            k = trainer.clients[0].model.k
+            assert len(plans[0].hops) == k + 1
+            assert not any(hop.requires_grad for hop in plans[0].hops)
+
+    def test_serial_gamlp_caches_hop_stack(self, equal_clients):
+        trainer = FederatedGNN(equal_clients, "gamlp", hidden=16,
+                               config=_config("serial", rounds=1))
+        trainer.run()
+        model = trainer.clients[0].model
+        assert len(model._hop_cache) == 1
+        (_, cache), = model._hop_cache.values()
+        assert cache.num_cached_hops == model.k
+
+    @pytest.mark.parametrize("model", DECOUPLED)
+    def test_heterogeneous_k_is_not_fusable(self, model, equal_clients):
+        from repro.federated.engine.batched import _homogeneous
+
+        trainers = [FederatedGNN(equal_clients, model, hidden=16,
+                                 config=_config("serial", rounds=1))
+                    for _ in range(2)]
+        mixed = [trainers[0].clients[0], trainers[1].clients[1]]
+        assert _homogeneous(mixed)
+        mixed[1].model.k += 1  # family signature mismatch → no fusion
+        assert not _homogeneous(mixed)
+
+
+class TestPersistentPoolDecoupled:
+    """Worker-resident shard fusion covers the decoupled-hop families."""
+
+    @pytest.mark.parametrize("model", DECOUPLED)
+    def test_intra_worker_fusion_matches_serial(self, model, equal_clients):
+        _, serial_history = _run(equal_clients, "serial", model)
+        trainer, pooled_history = _run(equal_clients, "process_pool", model,
+                                       intra_worker="auto")
+        _assert_bitwise(serial_history, pooled_history)
+        # The pipelined loop (and its fused eval) must actually have run.
+        stats = trainer.backend.last_pipeline_stats
+        assert stats is not None and stats["round_mode"] == "sync"
+
+
+class TestFusedEvalFamilies:
+    """The fused coordinator eval covers the whole propagation family."""
+
+    EXPECTED_PLAN = {"gcn": "_GCNEvalPlan", "sgc": "_SGCEvalPlan",
+                     "gamlp": "_GAMLPEvalPlan", "gprgnn": "_GPRGNNEvalPlan"}
+
+    @pytest.mark.parametrize("model", EVAL_FAMILIES)
+    def test_pipelined_eval_bitwise_vs_serial(self, model, community_clients):
+        _, serial_history = _run(community_clients, "serial", model)
+        trainer, pipelined_history = _run(community_clients, "process_pool",
+                                          model, intra_worker="serial")
+        stats = trainer.backend.last_pipeline_stats
+        assert stats["fused_eval"] == self.EXPECTED_PLAN[model]
+        _assert_bitwise(serial_history, pipelined_history)
+
+    @pytest.mark.parametrize("model", EVAL_FAMILIES)
+    def test_eval_plan_matches_per_client_predict(self, model,
+                                                  community_clients):
+        trainer = FederatedGNN(community_clients, model, hidden=16,
+                               config=_config("serial", rounds=1))
+        trainer.run()
+        plan = build_eval_plan(trainer.clients)
+        assert plan is not None
+        states = [client.get_weights() for client in trainer.clients]
+        plan.refresh(states)
+        cached = [client._prob_cache[1] for client in trainer.clients]
+        for client, fused in zip(trainer.clients, cached):
+            client.invalidate_cache()
+            np.testing.assert_array_equal(fused, client.predict())
+
+    def test_eval_plan_none_for_unplanned_model(self, community_clients):
+        trainer = FederatedGNN(community_clients, "gcnii", hidden=16,
+                               config=_config("serial", rounds=1))
+        assert build_eval_plan(trainer.clients) is None
+
+    def test_eval_plan_none_for_mismatched_k(self, community_clients):
+        trainers = [FederatedGNN(community_clients, "sgc", hidden=16,
+                                 config=_config("serial", rounds=1))
+                    for _ in range(2)]
+        trainers[1].clients[1].model.k += 1
+        assert build_eval_plan([trainers[0].clients[0],
+                                trainers[1].clients[1]]) is None
+
+
+class TestGroupwisePersonalizedBroadcast:
+    """Personalized broadcasts batch group-wise instead of per-client."""
+
+    def test_group_states_by_identity(self):
+        a, b = {"w": np.zeros(1)}, {"w": np.ones(1)}
+        groups = group_states_by_identity([a, b, a, a])
+        assert [(id(state), members) for state, members in groups] == \
+            [(id(a), [0, 2, 3]), (id(b), [1])]
+
+    @pytest.mark.parametrize("baseline", ["fed-pub", "gcfl+"])
+    def test_personalized_pipelined_matches_serial(self, baseline,
+                                                   community_clients):
+        serial = build_baseline(baseline, community_clients,
+                                config=_config("serial"))
+        serial_history = serial.run()
+        pooled = build_baseline(baseline, community_clients,
+                                config=_config("process_pool",
+                                               intra_worker="serial"))
+        pooled_history = pooled.run()
+        # Personalized (non-uniform) broadcasts now ride the fused eval.
+        stats = pooled.backend.last_pipeline_stats
+        assert stats["fused_eval"] == "_GCNEvalPlan"
+        _assert_bitwise(serial_history, pooled_history)
+
+    def test_resident_group_write_matches_per_client(self, equal_clients):
+        """load_group_state ≡ per-client loads, one write per group."""
+        trainer = FederatedGNN(equal_clients, "gamlp", hidden=16,
+                               config=_config("serial", rounds=1))
+        plan = _BatchedGAMLPPlan(trainer.clients)
+        plan.ensure_hot()
+        rng = np.random.default_rng(0)
+        state = {name: rng.normal(size=param.shape)
+                 for name, param in
+                 trainer.clients[0].model.named_parameters()}
+        plan.load_group_state([1, 3], state)
+        for index in (1, 3):
+            loaded = plan.client_state(index)
+            for key, value in state.items():
+                np.testing.assert_array_equal(loaded[key], value)
+        untouched = plan.client_state(0)
+        original = dict(trainer.clients[0].model.named_parameters())
+        for key, value in untouched.items():
+            np.testing.assert_array_equal(value, original[key].data)
+
+
+class TestQuantisedDeltaCodec:
+    def test_quantiser_snaps_to_uniform_grid(self):
+        values = np.array([-1.0, -0.4, 0.1, 0.8])
+        quantised = quantise_uniform(values, bits=3)  # 3 signed levels
+        levels = np.round(values / 1.0 * 3.0) / 3.0
+        np.testing.assert_allclose(quantised, levels)
+        # Extremes are representable exactly; everything lies on the grid.
+        assert quantised[0] == -1.0
+        grid = np.round(quantised * 3.0) / 3.0
+        np.testing.assert_allclose(grid, quantised)
+
+    def test_quantiser_edge_cases(self):
+        assert quantise_uniform(np.zeros(4), bits=8).tolist() == [0.0] * 4
+        assert quantise_uniform(np.array([]), bits=8).size == 0
+        with pytest.raises(ValueError, match="delta_bits"):
+            quantise_uniform(np.ones(2), bits=1)
+
+    def test_error_feedback_carries_quantisation_error(self):
+        received = {"w": np.zeros(4)}
+        trained = {"w": np.array([1.0, -3.0, 0.5, 2.0])}
+        payload, residual, _ = encode_topk_delta(trained, received, top_k=2,
+                                                 bits=4)
+        rebuilt = apply_topk_delta(received, payload)
+        # Applied + residual reconstructs the full delta exactly: both the
+        # truncated mass AND the per-entry quantisation error feed back.
+        np.testing.assert_allclose(rebuilt["w"] + residual["w"], trained["w"])
+
+    def test_quantised_transport_counts_fewer_words(self):
+        rng = np.random.default_rng(0)
+        received = {"w": rng.normal(size=(16, 8))}
+        trained = {"w": received["w"] + rng.normal(size=(16, 8))}
+        _, _, float_words = encode_topk_delta(trained, received, top_k=16)
+        _, _, quant_words = encode_topk_delta(trained, received, top_k=16,
+                                              bits=4)
+        assert float_words == 2 * 16
+        assert quant_words == 16 + 1 + 1  # indices + packed values + scale
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="delta_codec"):
+            ProcessPoolBackend(2, delta_codec="zip")
+        with pytest.raises(ValueError, match="delta_bits"):
+            ProcessPoolBackend(2, delta_codec="qtopk", delta_bits=1)
+        backend = ProcessPoolBackend(2, delta_codec="qtopk", delta_top_k=8,
+                                     delta_bits=4)
+        assert backend.delta_bits == 4
+
+    def test_qtopk_run_ships_fewer_values_than_topk(self, community_clients):
+        base = dict(rounds=3, intra_worker="serial", delta_top_k=8)
+        uploads = {}
+        for codec in ("topk", "qtopk"):
+            trainer, history = _run(community_clients, "process_pool", "gcn",
+                                    delta_codec=codec, delta_bits=4, **base)
+            uploads[codec] = \
+                trainer.backend.transport.uploaded["parameter_delta"]
+            assert np.all(np.isfinite(history.loss))
+        assert uploads["qtopk"] < uploads["topk"]
+
+
+class TestRoundTimeHistory:
+    def test_sync_pipeline_records_per_client_round_times(
+            self, community_clients):
+        trainer, history = _run(community_clients, "process_pool", "gcn",
+                                intra_worker="serial")
+        assert len(history.client_round_sec) == len(history.rounds)
+        for per_client in history.client_round_sec:
+            assert set(per_client) == \
+                {c.client_id for c in trainer.clients}
+            assert all(sec >= 0.0 for sec in per_client.values())
+
+    def test_serial_loop_leaves_round_times_empty(self, community_clients):
+        _, history = _run(community_clients, "serial", "gcn")
+        assert all(not per_client for per_client in history.client_round_sec)

@@ -118,11 +118,12 @@ class TestBackendEquivalence:
             assert client.optimizer._step_count == expected_steps
             assert all(np.any(m != 0) for m in client.optimizer._m)
 
-    def test_batched_falls_back_on_non_gcn(self, community_clients):
+    def test_batched_falls_back_on_unplanned_model(self, community_clients):
+        # GCNII has no batched plan family (GAMLP/GPR-GNN joined in PR 5).
         serial_trainer, serial_history = _run(community_clients, "serial",
-                                              model="gamlp", rounds=2)
+                                              model="gcnii", rounds=2)
         batched_trainer, batched_history = _run(community_clients, "batched",
-                                                model="gamlp", rounds=2)
+                                                model="gcnii", rounds=2)
         assert batched_trainer.backend.last_fallback is not None
         np.testing.assert_allclose(batched_history.loss, serial_history.loss)
         assert batched_history.test_accuracy == serial_history.test_accuracy
@@ -190,6 +191,10 @@ class TestBatchedSGC:
             def __init__(self, participants):
                 attempts.append(len(participants))
                 raise ValueError("cannot fuse this group")
+
+            @staticmethod
+            def signature(model):
+                return ()
 
         monkeypatch.setattr(batched_module, "_plan_family",
                             lambda client: ExplodingPlan)
