@@ -23,7 +23,11 @@ Three suites (``--suite``), each writing a JSON artifact under
   (decoupled-hop plans, ``loss_gap`` must be 0.0);
 * ``topk`` (``BENCH_topk.json``) — accuracy-vs-k curve for
   ``propagation_top_k``, against the dense reference, to pick per-dataset
-  defaults.
+  defaults;
+* ``faults`` (``BENCH_faults.json``) — fault-tolerance cost model (PR 6):
+  recovery overhead and history parity for a targeted worker crash under
+  the ``restart`` / ``redistribute`` policies, a seeded chaos sweep over
+  crash rates, and round-timeout degradation under a stalled worker.
 
 Run from the repository root::
 
@@ -49,6 +53,7 @@ from repro.core import AdaFGL, AdaFGLConfig, FederatedKnowledgeExtractor
 from repro.core.adafgl import PersonalizedClient
 from repro.datasets import CSBMConfig, generate_csbm, make_split_masks
 from repro.federated import FederatedConfig
+from repro.federated.engine import FaultEvent, FaultPlan
 from repro.fgl.fedgnn import FederatedGNN
 
 try:  # imported as benchmarks.bench_perf (pytest) or run as a script
@@ -574,6 +579,123 @@ def run_step2_pool(num_clients: int = 8, nodes_per_client: int = 250,
     return section
 
 
+def run_faults_suite(num_clients: int = 8, nodes_per_client: int = 60,
+                     rounds: int = 6, local_epochs: int = 3,
+                     hidden: int = 32, num_features: int = 32,
+                     num_workers: int = 2, model: str = "gcn", seed: int = 0,
+                     crash_rates: Sequence[float] = (0.05, 0.15, 0.3),
+                     stall_duration: float = 0.5,
+                     round_timeout: float = 0.25,
+                     output_name: str = "BENCH_faults") -> Dict:
+    """Fault-tolerance cost model for the persistent-worker engine.
+
+    Three sections against a fault-free baseline on one client split:
+
+    * ``recovery`` — a single targeted worker crash under the ``restart``
+      and ``redistribute`` policies.  ``loss_gap`` must be 0.0: recovery
+      snapshots roll the lost residents back exactly, so the crash costs
+      wall-clock (``overhead_sec``) but never accuracy.
+    * ``chaos`` — :meth:`FaultPlan.seeded` sweeps over crash rates under
+      ``restart``: survival, recovery counts and accuracy delta per rate.
+    * ``timeout`` — one stalled worker against ``round_timeout``: the round
+      drops the late shard and reweights, trading accuracy for latency
+      (dropped report counts and the accuracy delta are recorded).
+    """
+    graphs = [make_graph(nodes_per_client, seed=seed + index,
+                         num_features=num_features)
+              for index in range(num_clients)]
+
+    def run(fault_plan=None, **kwargs):
+        config = FederatedConfig(
+            rounds=rounds, local_epochs=local_epochs, seed=seed,
+            backend="process_pool", num_workers=num_workers,
+            intra_worker="serial", fault_plan=fault_plan, **kwargs)
+        trainer, history, rounds_per_sec = _timed_step1_run(
+            graphs, model, hidden, config)
+        stats = dict(getattr(trainer.backend, "fault_stats", {}) or {})
+        return trainer, history, rounds_per_sec, stats
+
+    baseline_trainer, baseline, baseline_rps, _ = run()
+    report: Dict = {
+        "num_clients": num_clients,
+        "rounds": rounds,
+        "num_workers": num_workers,
+        "model": model,
+        "baseline": {
+            "rounds_per_sec": round(baseline_rps, 3),
+            "test_accuracy": round(baseline_trainer.evaluate("test"), 4),
+        },
+    }
+
+    report["recovery"] = {}
+    for policy in ("restart", "redistribute"):
+        plan = FaultPlan([FaultEvent(worker=0, dispatch=2, kind="crash")])
+        trainer, history, rps, stats = run(fault_plan=plan,
+                                           on_worker_failure=policy)
+        loss_gap = float(np.max(np.abs(
+            np.asarray(history.loss) - np.asarray(baseline.loss))))
+        entry = {
+            "rounds_per_sec": round(rps, 3),
+            "overhead_sec": round(
+                elapsed_per_round(rps) * rounds
+                - elapsed_per_round(baseline_rps) * rounds, 4),
+            "test_accuracy": round(trainer.evaluate("test"), 4),
+            "loss_gap": loss_gap,
+            "fault_stats": stats,
+        }
+        report["recovery"][policy] = entry
+        print(f"faults {policy:>12}  {rps:6.2f} r/s  "
+              f"overhead {entry['overhead_sec']:+.3f}s  "
+              f"loss_gap {loss_gap:.2e}")
+
+    report["chaos"] = []
+    for rate in crash_rates:
+        plan = FaultPlan.seeded(seed, num_workers, dispatches=rounds,
+                                crash_rate=rate)
+        scheduled = plan.remaining
+        trainer, history, rps, stats = run(fault_plan=plan,
+                                           on_worker_failure="restart")
+        entry = {
+            "crash_rate": rate,
+            "scheduled": scheduled,
+            "fired": plan.fired_counts(),
+            "rounds_per_sec": round(rps, 3),
+            "test_accuracy": round(trainer.evaluate("test"), 4),
+            "accuracy_delta": round(
+                trainer.evaluate("test")
+                - report["baseline"]["test_accuracy"], 4),
+            "fault_stats": stats,
+        }
+        report["chaos"].append(entry)
+        print(f"faults chaos p={rate:<5} crashes {stats.get('crashes', 0)}  "
+              f"{rps:6.2f} r/s  acc {entry['test_accuracy']:.3f} "
+              f"({entry['accuracy_delta']:+.3f})")
+
+    stall_plan = FaultPlan([FaultEvent(worker=0, dispatch=2, kind="stall",
+                                       duration=stall_duration)])
+    trainer, history, rps, stats = run(fault_plan=stall_plan,
+                                       on_worker_failure="restart",
+                                       round_timeout=round_timeout)
+    report["timeout"] = {
+        "stall_duration": stall_duration,
+        "round_timeout": round_timeout,
+        "rounds_per_sec": round(rps, 3),
+        "test_accuracy": round(trainer.evaluate("test"), 4),
+        "accuracy_delta": round(
+            trainer.evaluate("test")
+            - report["baseline"]["test_accuracy"], 4),
+        "dropped_reports": stats.get("dropped_reports", 0),
+        "fault_stats": stats,
+    }
+    print(f"faults timeout    {rps:6.2f} r/s  "
+          f"dropped {report['timeout']['dropped_reports']}  "
+          f"acc {report['timeout']['test_accuracy']:.3f} "
+          f"({report['timeout']['accuracy_delta']:+.3f})")
+
+    record_json(output_name, report)
+    return report
+
+
 def run_topk_curve(num_nodes: int = 1000,
                    ks: Sequence[int] = (4, 8, 16, 32, 64),
                    epochs: int = 10, step1_rounds: int = 5, seed: int = 0,
@@ -625,7 +747,7 @@ def main(argv: Optional[List[str]] = None) -> Dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="step2",
                         choices=["step2", "step1", "step1_async", "topk",
-                                 "all"])
+                                 "faults", "all"])
     parser.add_argument("--nodes", default="500,1000,2000",
                         help="comma-separated cSBM sizes (step2 suite)")
     parser.add_argument("--epochs", type=int, default=10)
@@ -707,6 +829,13 @@ def main(argv: Optional[List[str]] = None) -> Dict:
             staleness_cap=args.staleness_cap, worker_speeds=speeds)
         record_json(args.output_name or "BENCH_step1_async",
                     results["step1_async"])
+    if args.suite in ("faults", "all"):
+        results["faults"] = run_faults_suite(
+            num_clients=args.clients, nodes_per_client=args.client_nodes,
+            rounds=args.rounds, local_epochs=args.local_epochs,
+            num_workers=args.workers, model=args.model, seed=args.seed,
+            output_name=(args.output_name if args.suite == "faults"
+                         and args.output_name else "BENCH_faults"))
     if args.suite in ("topk", "all"):
         results["topk"] = run_topk_curve(
             ks=parse_ints(args.top_k_grid, "--top-k-grid"),

@@ -97,6 +97,31 @@ def test_step1_async_harness_smoke():
 
 
 @pytest.mark.bench
+def test_faults_harness_smoke():
+    """Toy-scale fault-tolerance cost model (CI bench-smoke coverage)."""
+    from benchmarks.bench_perf import run_faults_suite
+
+    report = run_faults_suite(num_clients=4, nodes_per_client=40,
+                              rounds=3, local_epochs=2, num_workers=2,
+                              crash_rates=(0.3,), stall_duration=1.0,
+                              round_timeout=0.3,
+                              output_name="BENCH_faults_smoke")
+    # Targeted crash recovery is wall-clock-only: histories stay bitwise.
+    for policy in ("restart", "redistribute"):
+        entry = report["recovery"][policy]
+        assert entry["loss_gap"] == 0.0, policy
+        assert entry["fault_stats"]["crashes"] == 1
+    # The seeded chaos sweep survived and accounted for every fired event.
+    for entry in report["chaos"]:
+        assert entry["fault_stats"]["crashes"] == \
+            entry["fired"].get("crash", 0)
+        assert 0.0 <= entry["test_accuracy"] <= 1.0
+    # The stalled shard was dropped, not waited for.
+    assert report["timeout"]["fault_stats"]["timeouts"] >= 1
+    assert report["timeout"]["dropped_reports"] >= 1
+
+
+@pytest.mark.bench
 def test_topk_curve_harness_smoke():
     from benchmarks.bench_perf import run_topk_curve
 

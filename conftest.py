@@ -1,16 +1,51 @@
-"""Repository-level pytest configuration: benchmark markers.
+"""Repository-level pytest configuration: benchmark markers, hang guard.
 
 Tier-1 verification (``PYTHONPATH=src python -m pytest -x -q``) must stay
 fast and deterministic, so tests marked ``bench`` (the timing harness) are
 skipped unless explicitly requested with ``--run-bench`` or
 ``REPRO_RUN_BENCH=1``.
+
+A per-test wall-clock guard (SIGALRM, main-thread Unix only — the
+environment has no ``pytest-timeout`` plugin) fails any test that exceeds
+``REPRO_TEST_TIMEOUT`` seconds (default 300), so a hung persistent-pool
+worker or a deadlocked pipe can never stall the suite forever.  Set
+``REPRO_TEST_TIMEOUT=0`` to disable.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 
 import pytest
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        _TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:.0f}s "
+            "(hang guard)")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_addoption(parser):

@@ -56,6 +56,16 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.delta_top_k = args.delta_top_k
     if getattr(args, "delta_bits", None) is not None:
         settings.delta_bits = args.delta_bits
+    if getattr(args, "on_worker_failure", None) is not None:
+        settings.on_worker_failure = args.on_worker_failure
+    if getattr(args, "round_timeout", None) is not None:
+        settings.round_timeout = args.round_timeout
+    if getattr(args, "checkpoint_every", None) is not None:
+        settings.checkpoint_every = args.checkpoint_every
+    if getattr(args, "checkpoint_dir", None) is not None:
+        settings.checkpoint_dir = args.checkpoint_dir
+    if getattr(args, "resume_from", None) is not None:
+        settings.resume_from = args.resume_from
     return settings
 
 
@@ -106,6 +116,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--delta-bits", type=int, default=None,
                         help="bits per transported delta value with "
                              "--delta-codec qtopk")
+    parser.add_argument("--on-worker-failure", default=None,
+                        choices=["fail", "restart", "redistribute"],
+                        help="process-pool crash policy: abort the run, "
+                             "respawn the dead worker in place, or spread "
+                             "its clients over the survivors")
+    parser.add_argument("--round-timeout", type=float, default=None,
+                        help="seconds before a round drops its late shards "
+                             "(the aggregate reweights over the reporters)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="write a resumable checkpoint every N rounds "
+                             "(0 disables; sync rounds only)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for checkpoint files "
+                             "(default: checkpoints/)")
+    parser.add_argument("--resume-from", default=None,
+                        help="checkpoint file to restore before training "
+                             "(resumes the interrupted run bitwise on the "
+                             "serial/sync paths)")
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:

@@ -100,6 +100,16 @@ class AdaFGLConfig:
     delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
 
+    # Fault tolerance (see FederatedConfig / the README's fault-tolerance
+    # section): crash policy, round deadline, checkpoint cadence/location,
+    # resume source and the deterministic chaos plan for testing.
+    on_worker_failure: str = "fail"
+    round_timeout: Optional[float] = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    resume_from: Optional[str] = None
+    fault_plan: Optional[object] = None
+
     # HCS / label propagation.
     lp_steps: int = 5
     lp_kappa: float = 0.5
@@ -127,7 +137,13 @@ class AdaFGLConfig:
             round_mode=self.round_mode, async_buffer=self.async_buffer,
             staleness_cap=self.staleness_cap, delta_codec=self.delta_codec,
             delta_top_k=self.delta_top_k, delta_bits=self.delta_bits,
-            worker_speeds=self.worker_speeds)
+            worker_speeds=self.worker_speeds,
+            on_worker_failure=self.on_worker_failure,
+            round_timeout=self.round_timeout,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=self.checkpoint_dir,
+            resume_from=self.resume_from,
+            fault_plan=self.fault_plan)
 
 
 #: fallback sparsity when neither the config nor the dataset registry pins one
@@ -474,12 +490,15 @@ class AdaFGL:
         everyone else is sharded deterministically by ``cid % workers``.
         """
         pool = backend.ensure_pool()
+        alive = pool.alive_workers
         per_worker: Dict[int, List[Tuple[str, object]]] = {}
         for cid in range(len(graphs)):
             owner = backend.owner_of(cid)
             resident = owner is not None
             if not resident:
-                owner = cid % pool.num_workers
+                # Shard over the *alive* slots only — a Step-1 crash under
+                # the redistribute policy may have retired some workers.
+                owner = alive[cid % len(alive)]
             payload = (cid, None if resident else graphs[cid],
                        probabilities[cid], self.config, epochs, checkpoints)
             per_worker.setdefault(owner, []).append(

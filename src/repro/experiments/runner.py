@@ -69,6 +69,13 @@ class ExperimentSettings:
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
     delta_bits: int = 8
+    #: fault tolerance (see FederatedConfig): worker-crash policy, round
+    #: deadline in seconds, checkpoint cadence/location and resume source.
+    on_worker_failure: str = "fail"
+    round_timeout: Optional[float] = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    resume_from: Optional[str] = None
 
     def federated_config(self) -> FederatedConfig:
         backend = self.backend
@@ -86,7 +93,12 @@ class ExperimentSettings:
                                staleness_cap=self.staleness_cap,
                                delta_codec=self.delta_codec,
                                delta_top_k=self.delta_top_k,
-                               delta_bits=self.delta_bits)
+                               delta_bits=self.delta_bits,
+                               on_worker_failure=self.on_worker_failure,
+                               round_timeout=self.round_timeout,
+                               checkpoint_every=self.checkpoint_every,
+                               checkpoint_dir=self.checkpoint_dir,
+                               resume_from=self.resume_from)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
         # ``sparse_propagation=True`` is the experiment-runner default since
@@ -113,7 +125,12 @@ class ExperimentSettings:
                               staleness_cap=self.staleness_cap,
                               delta_codec=self.delta_codec,
                               delta_top_k=self.delta_top_k,
-                              delta_bits=self.delta_bits)
+                              delta_bits=self.delta_bits,
+                              on_worker_failure=self.on_worker_failure,
+                              round_timeout=self.round_timeout,
+                              checkpoint_every=self.checkpoint_every,
+                              checkpoint_dir=self.checkpoint_dir,
+                              resume_from=self.resume_from)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

@@ -50,8 +50,14 @@ from repro.federated.engine.batched import (
     build_eval_plan,
     group_states_by_identity,
 )
+from repro.federated.engine.faults import (
+    FaultEvent,
+    FaultPlan,
+    payload_checksum,
+)
 from repro.federated.engine.persistent import (
     PersistentWorkerPool,
+    WorkerCrash,
     WorkerError,
     apply_state_delta,
     apply_topk_delta,
@@ -94,7 +100,11 @@ __all__ = [
     "register_backend",
     "snapshot_client_state",
     "restore_client_state",
+    "FaultEvent",
+    "FaultPlan",
+    "payload_checksum",
     "PersistentWorkerPool",
+    "WorkerCrash",
     "WorkerError",
     "encode_state_delta",
     "apply_state_delta",

@@ -83,6 +83,8 @@ class StreamingAggregate:
         self._expected = int(base.size)
         self._next = 0
         self._buffer: Dict[int, StateDict] = {}
+        self._dropped: set = set()
+        self._dropped_weight = 0.0
         self._acc: Optional[Dict[str, np.ndarray]] = None
         self._keys: Optional[frozenset] = None
 
@@ -91,12 +93,40 @@ class StreamingAggregate:
         """Participants whose contribution has not been folded yet."""
         return self._expected - self._next
 
+    @property
+    def dropped(self) -> int:
+        """Participants excluded from the merge via :meth:`drop`."""
+        return len(self._dropped)
+
+    def _advance(self) -> None:
+        """Fold buffered / skip dropped contributions in participant order."""
+        while True:
+            if self._next in self._dropped:
+                self._next += 1
+                continue
+            if self._next in self._buffer:
+                state = self._buffer.pop(self._next)
+                weight = self._weights[self._next]
+                if self._acc is None:
+                    # Replicate ``sum(...)`` exactly: the accumulator starts
+                    # at the integer 0 so the first fold is ``0 + w·state``.
+                    self._acc = {key: 0 + weight * value
+                                 for key, value in state.items()}
+                else:
+                    for key, value in state.items():
+                        self._acc[key] = self._acc[key] + weight * value
+                self._next += 1
+                continue
+            return
+
     def add(self, index: int, state: StateDict) -> None:
         """Fold participant ``index``'s upload (buffering out-of-order ones)."""
         if not 0 <= index < self._expected:
             raise IndexError(f"participant index {index} out of range")
         if index < self._next or index in self._buffer:
             raise ValueError(f"participant {index} already folded")
+        if index in self._dropped:
+            raise ValueError(f"participant {index} was dropped")
         # Same loud failure as the barrier fedavg_aggregate: a key-set
         # mismatch would otherwise skew the effective weights silently.
         if self._keys is None:
@@ -105,28 +135,43 @@ class StreamingAggregate:
             raise KeyError(
                 "client state dicts have mismatching parameter names")
         self._buffer[index] = state
-        while self._next in self._buffer:
-            state = self._buffer.pop(self._next)
-            weight = self._weights[self._next]
-            if self._acc is None:
-                # Replicate ``sum(...)`` exactly: the accumulator starts at
-                # the integer 0 so the first fold is ``0 + w·state``.
-                self._acc = {key: 0 + weight * value
-                             for key, value in state.items()}
-            else:
-                for key, value in state.items():
-                    self._acc[key] = self._acc[key] + weight * value
-            self._next += 1
+        self._advance()
+
+    def drop(self, index: int) -> None:
+        """Exclude participant ``index`` from the merge (fault degradation).
+
+        Its weight mass is removed and :meth:`seal` renormalises over the
+        actual reporters, so the sealed result is the weighted average of
+        the surviving contributions — the statistically principled
+        partial-participation FedAvg.  A round with no drops is bitwise
+        untouched (no renormalisation runs).
+        """
+        if not 0 <= index < self._expected:
+            raise IndexError(f"participant index {index} out of range")
+        if index < self._next or index in self._buffer:
+            raise ValueError(f"participant {index} already folded")
+        self._dropped.add(index)
+        self._dropped_weight += float(self._weights[index])
+        self._advance()
 
     def seal(self) -> StateDict:
-        """Finish the merge; every participant must have been folded."""
+        """Finish the merge; every participant must be folded or dropped."""
         if self.pending:
             raise RuntimeError(
                 f"cannot seal: {self.pending} contribution(s) still pending")
-        assert self._acc is not None
+        if self._acc is None:
+            raise RuntimeError(
+                "cannot seal: every contribution was dropped")
+        merged = self._acc
+        if self._dropped:
+            kept = 1.0 - self._dropped_weight
+            if kept <= 0:
+                raise RuntimeError(
+                    "cannot seal: dropped participants held all the weight")
+            merged = {key: value / kept for key, value in merged.items()}
         if self._finalize is not None:
-            return self._finalize(self._acc)
-        return self._acc
+            return self._finalize(merged)
+        return merged
 
 
 class AggregationStrategy:
@@ -157,6 +202,19 @@ class AggregationStrategy:
         """State the given client should load (default: the global one)."""
         del client, context
         return global_state
+
+    def state_dict(self) -> Dict:
+        """Round-persistent strategy state for checkpointing (default none).
+
+        Strategies carrying cross-round state (e.g. the FedOpt server
+        moments) override this pair so :meth:`load_state_dict` restores the
+        exact mid-run state and a resumed run continues bitwise.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output (default: nothing to restore)."""
+        del state
 
 
 class FedAvgAggregation(AggregationStrategy):
@@ -356,6 +414,19 @@ class ServerOptAggregation(AggregationStrategy):
         # so the average streams and the server update runs at seal time.
         del context
         return StreamingAggregate(weights, finalize=self._server_update)
+
+    def state_dict(self):
+        def _copy(states):
+            if states is None:
+                return None
+            return {key: value.copy() for key, value in states.items()}
+        return {"model": _copy(self._model), "m": _copy(self._m),
+                "v": _copy(self._v)}
+
+    def load_state_dict(self, state):
+        self._model = state.get("model")
+        self._m = state.get("m")
+        self._v = state.get("v")
 
 
 class FedAdamAggregation(ServerOptAggregation):

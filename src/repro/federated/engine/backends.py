@@ -34,10 +34,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 import numpy as np
 
 from repro.federated.communication import CommunicationTracker
+from repro.federated.engine.faults import (
+    TRANSPORT_KINDS,
+    WORKER_KINDS,
+    FaultPlan,
+    payload_checksum,
+)
 from repro.federated.engine.persistent import (
     STACK_MARKER,
     TOPK_MARKER,
     PersistentWorkerPool,
+    WorkerCrash,
     WorkerError,
     apply_stacked_delta,
     apply_state_delta,
@@ -111,6 +118,32 @@ def _states_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
     return all(np.array_equal(a[key], b[key]) for key in a)
 
 
+def _corrupt_payload(payload) -> bool:
+    """Flip the first array element found in a delta payload (fault inject).
+
+    Simulates in-transit corruption: mutates one element of the first
+    ndarray reachable in the nested payload so the checksum the worker
+    stamped no longer matches.  Returns True when something was mutated.
+    """
+    if isinstance(payload, np.ndarray):
+        if payload.size == 0 or not payload.flags.writeable:
+            return False
+        flat = payload.reshape(-1)
+        if payload.dtype.kind in "iu":
+            flat[:1] = flat[:1] ^ 1 if payload.dtype.kind == "u" \
+                else flat[:1] + 1
+        elif payload.dtype.kind == "f":
+            flat[:1] = flat[:1] + 1.0
+        else:
+            return False
+        return True
+    if isinstance(payload, dict):
+        return any(_corrupt_payload(value) for value in payload.values())
+    if isinstance(payload, (tuple, list)):
+        return any(_corrupt_payload(item) for item in payload)
+    return False
+
+
 # ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
@@ -132,6 +165,13 @@ class ExecutionBackend:
     def run_local_training(self, participants: Sequence) -> List[float]:
         """Train every participant locally; return per-participant losses."""
         raise NotImplementedError
+
+    def sync_for_checkpoint(self) -> None:
+        """Bring coordinator-side client state up to date for a checkpoint.
+
+        In-process backends are always current; the persistent pool pulls
+        worker-resident optimizer/RNG state back into the mirrors.
+        """
 
     def close(self) -> None:
         """Release backend resources (worker pools, cached plans)."""
@@ -160,8 +200,13 @@ class PendingRound:
         self.participants = participants
         #: client_id → coordinator mirror client
         self.mirrors = {c.client_id: c for c in participants}
-        #: worker → shard client ids dispatched to it
-        self.groups: Dict[int, List[int]] = {}
+        #: worker → FIFO of shards (id lists) whose reply is expected from
+        #: it; normally one entry per worker, but crash recovery under the
+        #: ``redistribute`` policy may queue a second shard on a survivor
+        self.groups: Dict[int, List[List[int]]] = {}
+        #: client ids dropped from this round (timed-out shards, lost
+        #: crash shards under a non-``fail`` policy)
+        self.dropped: Set[int] = set()
         #: client_id → broadcast state the worker trained from (delta base)
         self.sent: Dict[int, Dict[str, np.ndarray]] = {}
         #: coordinator-resident clients (non-poolable)
@@ -222,7 +267,10 @@ class ProcessPoolBackend(ExecutionBackend):
     def __init__(self, num_workers: Optional[int] = None,
                  intra_worker: str = "auto", delta_codec: str = "bitdelta",
                  delta_top_k: int = 32, delta_bits: int = 8,
-                 worker_speeds: Optional[Sequence[float]] = None, **_unused):
+                 worker_speeds: Optional[Sequence[float]] = None,
+                 on_worker_failure: str = "fail",
+                 round_timeout: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None, **_unused):
         if intra_worker not in ("auto", "batched", "serial"):
             raise ValueError(
                 "intra_worker must be 'auto', 'batched' or 'serial', "
@@ -239,12 +287,27 @@ class ProcessPoolBackend(ExecutionBackend):
             worker_speeds = [float(s) for s in worker_speeds]
             if not worker_speeds or any(s <= 0 for s in worker_speeds):
                 raise ValueError("worker_speeds must be positive floats")
+        if on_worker_failure not in ("fail", "restart", "redistribute"):
+            raise ValueError(
+                "on_worker_failure must be 'fail', 'restart' or "
+                f"'redistribute', got {on_worker_failure!r}")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
         self.num_workers = num_workers
         self.intra_worker = intra_worker
         self.delta_codec = delta_codec
         self.delta_top_k = delta_top_k
         self.delta_bits = int(delta_bits)
         self.worker_speeds = worker_speeds
+        self.on_worker_failure = on_worker_failure
+        self.round_timeout = round_timeout
+        self.fault_plan = fault_plan
+        #: counters of every supervised failure/recovery event this backend
+        #: has seen (crashes, restarts, redistributed clients, timed-out
+        #: shards, corrupted-payload retries, dropped client reports)
+        self.fault_stats: Dict[str, int] = {
+            "crashes": 0, "restarts": 0, "redistributed_clients": 0,
+            "timeouts": 0, "retries": 0, "dropped_reports": 0}
         self.transport = CommunicationTracker()
         #: cumulative worker-reported busy seconds (training + simulated
         #: slowdown), indexed by worker — the utilization metric's numerator
@@ -254,6 +317,18 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pool: Optional[PersistentWorkerPool] = None
         self._owner: Dict[int, int] = {}   # client_id → owning worker
         self._local: Set[int] = set()      # coordinator-resident client ids
+        #: client_id → weight-free recovery snapshot (optimizer moments +
+        #: RNG streams) of the worker-side state at the client's last
+        #: completed round; used to re-bootstrap residents after a crash
+        self._recovery: Dict[int, Dict] = {}
+        #: worker → train dispatches sent so far (fault-plan addressing)
+        self._dispatch_count: Dict[int, int] = {}
+        #: worker → FIFO of transport-fault event lists, one entry per
+        #: expected train reply (aligned with ``PendingRound.groups``)
+        self._transit: Dict[int, List[List]] = {}
+        #: worker → count of stale (timed-out) replies still unread; a
+        #: lagging worker is excluded from dispatch until drained
+        self._lagging: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def worker_speed(self, worker: int) -> float:
@@ -272,6 +347,10 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = PersistentWorkerPool(self._worker_count())
             self._owner.clear()
             self._local.clear()
+            self._recovery.clear()
+            self._dispatch_count.clear()
+            self._transit.clear()
+            self._lagging.clear()
         return self._pool
 
     def owner_of(self, client_id: int) -> Optional[int]:
@@ -289,14 +368,15 @@ class ProcessPoolBackend(ExecutionBackend):
         worker holds a proportionally smaller shard and shard completion
         times line up instead of the slow worker stretching every round.
         """
-        workers = self._pool.num_workers
-        speeds = [self.worker_speed(worker) for worker in range(workers)]
-        if len(set(speeds)) == 1:
-            return cid % workers
-        counts = [0] * workers
+        workers = self._pool.alive_workers
+        speeds = {worker: self.worker_speed(worker) for worker in workers}
+        if len(set(speeds.values())) == 1:
+            return workers[cid % len(workers)]
+        counts = {worker: 0 for worker in workers}
         for owner in self._owner.values():
-            counts[owner] += 1
-        return min(range(workers),
+            if owner in counts:
+                counts[owner] += 1
+        return min(workers,
                    key=lambda w: ((counts[w] + 1) / speeds[w], w))
 
     def _bootstrap(self, clients: Sequence) -> List:
@@ -323,6 +403,12 @@ class ProcessPoolBackend(ExecutionBackend):
             worker = self._assign_worker(cid)
             batches.setdefault(worker, []).append((cid, blob))
             self._owner[cid] = worker
+            if self.on_worker_failure != "fail":
+                # Baseline recovery snapshot: the worker-owned state (moments
+                # + RNG streams) the client ships out with, so a crash before
+                # its first train reply can still re-bootstrap it exactly.
+                self._recovery[cid] = snapshot_client_state(
+                    client, include_weights=False)
             self.transport.record_download("bootstrap_payload",
                                            len(blob) / 8.0)
             pooled.append(client)
@@ -395,12 +481,16 @@ class ProcessPoolBackend(ExecutionBackend):
             # in-process without ever spawning workers (zero-IPC round).
             return pending
         self.ensure_pool()
+        # Rejoin lagging workers whose stale (timed-out) replies have landed
+        # since the last round; clients owned by a still-lagging worker
+        # cannot train this round and are dropped from it.
+        if self._lagging:
+            self.poll_lagging()
         pooled = self._bootstrap(candidates)
         pooled_ids = {client.client_id for client in pooled}
         local_side.extend(c for c in candidates
                           if c.client_id not in pooled_ids)
 
-        pool = self._pool
         groups: Dict[int, List[int]] = {}
         unique: List[Dict[str, np.ndarray]] = []
         assign: Dict[int, int] = {}
@@ -413,7 +503,14 @@ class ProcessPoolBackend(ExecutionBackend):
             {} if states is not None else None
         for client in pooled:
             cid = client.client_id
-            groups.setdefault(self._owner[cid], []).append(cid)
+            owner = self._owner[cid]
+            if self._lagging.get(owner):
+                # The owner still owes a stale reply from a timed-out round;
+                # dispatching to it would interleave fresh and stale shards.
+                pending.dropped.add(cid)
+                self.fault_stats["dropped_reports"] += 1
+                continue
+            groups.setdefault(owner, []).append(cid)
             state = states[cid] if states is not None \
                 else client.get_weights()
             # Broadcast dedup: after plain FedAvg every participant holds
@@ -441,21 +538,62 @@ class ProcessPoolBackend(ExecutionBackend):
                 pending.sent[cid] = state
             if by_identity is not None:
                 by_identity[id(state)] = assign[cid]
-        codec = (self.delta_codec, self.delta_top_k, self.delta_bits)
-        for worker, ids in groups.items():
-            used = sorted({assign[cid] for cid in ids})
-            local_index = {u: i for i, u in enumerate(used)}
-            slowdown = max(1.0, 1.0 / self.worker_speed(worker))
-            pool.send(worker, "train",
-                      (ids, [unique[u] for u in used],
-                       {cid: local_index[assign[cid]] for cid in ids},
-                       self.intra_worker, codec, slowdown))
-            self.transport.record_download(
-                "broadcast_weights",
-                sum(v.size for u in used for v in unique[u].values()))
-        pending.groups = groups
-        pending.outstanding = set(groups)
+        for worker, ids in sorted(groups.items()):
+            try:
+                self._send_shard(pending, worker, ids)
+            except WorkerCrash as error:
+                # The worker died between rounds; recover per policy (the
+                # shard itself was never queued, so hand it over explicitly).
+                self._handle_crash(pending, worker, error, extra_shard=ids)
         return pending
+
+    def _send_shard(self, pending: "PendingRound", worker: int,
+                    ids: Sequence[int]) -> None:
+        """Ship one shard's ``train`` command (dedup by state identity).
+
+        Appends the shard to the worker's expected-reply FIFO
+        (``pending.groups``) and records any fault-plan events addressed to
+        this dispatch: worker-side kinds (crash/stall) ride along in the
+        payload, transport kinds (corrupt/drop) are queued coordinator-side
+        and applied when the reply arrives.  Also the re-dispatch primitive
+        of crash recovery, which is why a worker's FIFO can hold more than
+        one shard.
+        """
+        unique: List[Dict[str, np.ndarray]] = []
+        assign: Dict[int, int] = {}
+        for cid in ids:
+            state = pending.sent[cid]
+            for index, candidate in enumerate(unique):
+                if candidate is state:
+                    assign[cid] = index
+                    break
+            else:
+                unique.append(state)
+                assign[cid] = len(unique) - 1
+        dispatch_no = self._dispatch_count.get(worker, 0) + 1
+        self._dispatch_count[worker] = dispatch_no
+        fault = None
+        transit: List = []
+        if self.fault_plan is not None:
+            worker_events = self.fault_plan.take(worker, dispatch_no,
+                                                 WORKER_KINDS)
+            if worker_events:
+                event = worker_events[0]
+                fault = {"kind": event.kind, "duration": event.duration}
+            transit = self.fault_plan.take(worker, dispatch_no,
+                                           TRANSPORT_KINDS)
+        codec = (self.delta_codec, self.delta_top_k, self.delta_bits)
+        slowdown = max(1.0, 1.0 / self.worker_speed(worker))
+        self._pool.send(worker, "train",
+                        (list(ids), unique, assign, self.intra_worker,
+                         codec, slowdown, fault,
+                         self.on_worker_failure != "fail"))
+        self._transit.setdefault(worker, []).append(transit)
+        pending.groups.setdefault(worker, []).append(list(ids))
+        pending.outstanding.add(worker)
+        self.transport.record_download(
+            "broadcast_weights",
+            sum(v.size for state in unique for v in state.values()))
 
     def run_local_side(self, pending: "PendingRound") -> None:
         """Train the coordinator-resident clients (while workers run)."""
@@ -465,7 +603,8 @@ class ProcessPoolBackend(ExecutionBackend):
             pending.round_sec[client.client_id] = \
                 time.perf_counter() - start
 
-    def collect_worker(self, pending: "PendingRound", worker: int) -> List[int]:
+    def collect_worker(self, pending: "PendingRound", worker: int,
+                       redispatch: bool = True) -> List[int]:
         """Absorb one worker's shard report: reconstruct states, account IPC.
 
         Returns the client ids the report covered.  Trained weights are
@@ -474,11 +613,40 @@ class ProcessPoolBackend(ExecutionBackend):
         written by :meth:`finish_round`, so a caller overlapping the
         previous round's evaluation with straggler collection still sees
         the mirrors at their broadcast state.
+
+        Failure handling: a corrupted/dropped payload (checksum mismatch)
+        is retried once via the worker's cached reply; a dead worker runs
+        the ``on_worker_failure`` policy and — under ``redispatch=True``,
+        the sync discipline — its lost shards are re-sent to recovered
+        owners (the call then returns ``[]`` and the caller keeps pumping
+        ``pending.outstanding``).  ``redispatch=False`` (the async
+        discipline) marks the lost shard dropped instead.
         """
         if worker not in pending.outstanding:
             raise ValueError(f"worker {worker} has no outstanding shard")
-        worker_losses, deltas, stats = self._pool.recv(worker)
-        ids = pending.groups[worker]
+        try:
+            # Recovery adoptions are queued asynchronously on survivors;
+            # their acks precede the shard reply in the pipe.
+            while self._pool.next_reply_command(worker) == "adopt":
+                self._pool.recv(worker)
+            reply = self._pool.recv(worker)
+            reply = self._verify_reply(pending, worker, reply)
+        except WorkerCrash as error:
+            self._handle_crash(pending, worker, error, redispatch=redispatch)
+            return []
+        if reply is None:
+            # The worker died while its cached reply was being re-requested;
+            # _verify_reply already ran the recovery policy.
+            return []
+        worker_losses, deltas, stats = reply
+        ids = pending.groups[worker].pop(0)
+        if not pending.groups[worker]:
+            del pending.groups[worker]
+            pending.outstanding.discard(worker)
+        if "snapshots" in stats:
+            # Freshest worker-side optimizer/RNG state per shard client —
+            # the baseline a future crash recovery restores from.
+            self._recovery.update(stats["snapshots"])
         if STACK_MARKER in deltas:
             # Whole-shard stacked bit delta (resident worker plan): one
             # vectorised reconstruction, per-client states are views.
@@ -506,16 +674,263 @@ class ProcessPoolBackend(ExecutionBackend):
         # the straggler profile actually has (shards train as one unit).
         for cid in ids:
             pending.round_sec[cid] = stats.get("busy_sec", 0.0)
-        pending.outstanding.discard(worker)
         return ids
 
-    def collect_next(self, pending: "PendingRound") -> List[int]:
-        """Absorb whichever outstanding shard finishes first (as-completed)."""
-        ready = self._pool.wait(sorted(pending.outstanding))
+    def _verify_reply(self, pending: "PendingRound", worker: int, reply):
+        """Checksum-verify a shard reply; retry once from the worker cache.
+
+        Applies this reply's scheduled transport faults first (payload
+        corruption / payload drop), then compares the coordinator-side
+        checksum of the delta payload against the one the worker stamped.
+        On mismatch the worker's cached last reply is requested once
+        (``resend``); a second mismatch is a hard :class:`WorkerError`.
+        Returns the verified reply, or ``None`` when the worker died during
+        the resend (recovery already ran).  Raises :class:`WorkerCrash`
+        through to the caller only when it happens on the *first* receive
+        (i.e. the caller's own ``recv``), never from here.
+        """
+        transit = []
+        fifo = self._transit.get(worker)
+        if fifo:
+            transit = fifo.pop(0)
+        kinds = {event.kind for event in transit}
+        damaged = False
+        if "drop" in kinds:
+            damaged = True           # payload lost in transit entirely
+        elif "corrupt" in kinds:
+            _corrupt_payload(reply[1])
+        if damaged or payload_checksum(reply[1]) != \
+                reply[2].get("checksum", payload_checksum(reply[1])):
+            self.fault_stats["retries"] += 1
+            try:
+                self._pool.send(worker, "resend")
+                reply = self._pool.recv_reply_to(worker, "resend")
+            except WorkerCrash as error:
+                self._handle_crash(pending, worker, error)
+                return None
+            if payload_checksum(reply[1]) != reply[2].get("checksum"):
+                raise WorkerError(
+                    f"worker {worker} delta payload failed checksum "
+                    "verification twice (corruption persisted across the "
+                    "retry)", worker=worker, command="resend")
+        return reply
+
+    def collect_next(self, pending: "PendingRound",
+                     timeout: Optional[float] = None) -> List[int]:
+        """Absorb whichever outstanding shard finishes first (as-completed).
+
+        ``timeout`` (seconds) bounds the wait; on expiry an empty list is
+        returned with ``pending.outstanding`` untouched — the round loop
+        decides whether to keep waiting or invoke
+        :meth:`timeout_outstanding`.  May also return an empty list when a
+        crash was recovered (the re-dispatched shard is still outstanding).
+        """
+        ready = self._pool.wait(sorted(pending.outstanding), timeout=timeout)
         collected: List[int] = []
         for worker in ready:
-            collected.extend(self.collect_worker(pending, worker))
+            if worker in pending.outstanding:   # recovery may mutate the set
+                collected.extend(self.collect_worker(pending, worker))
         return collected
+
+    # ------------------------------------------------------------------
+    # Crash recovery and round-timeout degradation
+    # ------------------------------------------------------------------
+    def _handle_crash(self, pending: Optional["PendingRound"], worker: int,
+                      error: WorkerCrash, extra_shard: Optional[List[int]]
+                      = None, redispatch: bool = True) -> None:
+        """Run the ``on_worker_failure`` policy for a dead worker.
+
+        ``"fail"`` re-raises.  ``"restart"`` respawns the worker process in
+        its slot; ``"redistribute"`` retires the slot and spreads its
+        residents over the survivors.  Either way every lost resident's
+        worker-side state (optimizer moments + RNG streams) is rebuilt from
+        its coordinator recovery snapshot — taken at its last completed
+        round — so the re-adopted client trains exactly as the crashed
+        worker would have.  Lost in-flight shards are re-dispatched to the
+        recovered owners (sync discipline) or marked dropped
+        (``redispatch=False``, the async discipline, where the round loop
+        re-enqueues work itself).
+
+        Adoption is *asynchronous*: survivors may still owe train replies,
+        so the adopt acks are left in their pipes and drained by
+        :meth:`collect_worker` / :meth:`poll_lagging` before the next reply.
+        """
+        self.fault_stats["crashes"] += 1
+        if self.on_worker_failure == "fail":
+            raise error
+        pool = self._pool
+        lost_shards: List[List[int]] = []
+        if pending is not None:
+            lost_shards.extend(pending.groups.pop(worker, []))
+            pending.outstanding.discard(worker)
+        if extra_shard is not None:
+            lost_shards.append(list(extra_shard))
+        self._transit.pop(worker, None)
+        self._lagging.pop(worker, None)
+        lost_residents = sorted(cid for cid, owner in self._owner.items()
+                                if owner == worker)
+        mirrors = {}
+        if self.trainer is not None:
+            mirrors.update({c.client_id: c for c in self.trainer.clients})
+        if pending is not None:
+            mirrors.update(pending.mirrors)
+        for cid in lost_residents:
+            del self._owner[cid]
+        if self.on_worker_failure == "restart":
+            pool.respawn(worker)
+            self.fault_stats["restarts"] += 1
+        else:  # redistribute
+            pool.mark_dead(worker)
+            if not pool.alive_workers:
+                raise WorkerError(
+                    "every worker has died; cannot redistribute "
+                    f"(last crash: worker {worker})", worker=worker,
+                    command=error.command) from error
+            self.fault_stats["redistributed_clients"] += len(lost_residents)
+        # The crash poisoned the pool defensively; recovery restores a
+        # consistent protocol state, so close-time sync is safe again.
+        pool.poisoned = False
+        adopt_batches: Dict[int, List] = {}
+        for cid in lost_residents:
+            client = mirrors.get(cid)
+            snapshot = self._recovery.get(cid)
+            if client is None:
+                continue
+            if snapshot is not None:
+                # Roll the mirror's worker-owned state back to the client's
+                # last completed round; its weights already hold the current
+                # broadcast, which is exactly the state the crashed worker
+                # trained from.
+                restore_client_state(client, snapshot,
+                                     include_weights=False)
+            try:
+                blob = pickle.dumps(client,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self._local.add(cid)
+                continue
+            new_worker = self._assign_worker(cid)
+            self._owner[cid] = new_worker
+            adopt_batches.setdefault(new_worker, []).append((cid, blob))
+            self._recovery[cid] = snapshot_client_state(
+                client, include_weights=False)
+            self.transport.record_download("bootstrap_payload",
+                                           len(blob) / 8.0)
+        for new_worker, batch in adopt_batches.items():
+            pool.send(new_worker, "adopt", batch)
+        # Re-dispatch (or drop) the shards that died with the worker.
+        regrouped: Dict[int, List[int]] = {}
+        for shard in lost_shards:
+            for cid in shard:
+                owner = self._owner.get(cid)
+                if owner is None or not redispatch \
+                        or self._lagging.get(owner):
+                    if pending is not None:
+                        pending.dropped.add(cid)
+                    self.fault_stats["dropped_reports"] += 1
+                else:
+                    regrouped.setdefault(owner, []).append(cid)
+        for owner, ids in sorted(regrouped.items()):
+            try:
+                self._send_shard(pending, owner, ids)
+            except WorkerCrash as chained:
+                self._handle_crash(pending, owner, chained, extra_shard=ids,
+                                   redispatch=redispatch)
+
+    def timeout_outstanding(self, pending: "PendingRound") -> List[int]:
+        """Drop every still-outstanding shard from the round (deadline hit).
+
+        The late workers stay alive but are marked *lagging*: their stale
+        replies remain queued in the pipes and are drained opportunistically
+        (:meth:`poll_lagging`), keeping the request/reply protocol aligned.
+        A lagging worker's residents sit out subsequent rounds until it
+        catches up.  Returns the dropped client ids.
+        """
+        dropped: List[int] = []
+        for worker in sorted(pending.outstanding):
+            shards = pending.groups.pop(worker, [])
+            self._lagging[worker] = self._lagging.get(worker, 0) \
+                + len(shards)
+            self.fault_stats["timeouts"] += 1
+            for shard in shards:
+                dropped.extend(shard)
+        pending.outstanding.clear()
+        pending.dropped.update(dropped)
+        self.fault_stats["dropped_reports"] += len(dropped)
+        return dropped
+
+    def abandon_job(self, pending: "PendingRound", worker: int) -> List[int]:
+        """Async-path variant of :meth:`timeout_outstanding`: one worker."""
+        shards = pending.groups.pop(worker, [])
+        pending.outstanding.discard(worker)
+        self._lagging[worker] = self._lagging.get(worker, 0) + len(shards)
+        self.fault_stats["timeouts"] += 1
+        dropped = [cid for shard in shards for cid in shard]
+        pending.dropped.update(dropped)
+        self.fault_stats["dropped_reports"] += len(dropped)
+        return dropped
+
+    def _absorb_stale_reply(self, worker: int, reply) -> None:
+        """Account a drained stale (timed-out) reply without using it.
+
+        The training it reports was dropped from its round, so losses and
+        deltas are discarded — but the recovery snapshots it carries are
+        still the freshest worker-side state, and the busy seconds are real
+        compute the utilization metric should see.
+        """
+        _losses, _deltas, stats = reply
+        transit_fifo = self._transit.get(worker)
+        if transit_fifo:
+            transit_fifo.pop(0)
+        if "snapshots" in stats:
+            self._recovery.update(stats["snapshots"])
+        self.busy_sec[worker] = self.busy_sec.get(worker, 0.0) \
+            + stats.get("busy_sec", 0.0)
+
+    def poll_lagging(self) -> List[int]:
+        """Drain ready stale replies; return the workers that caught up.
+
+        Non-blocking: each lagging worker gives up its queued replies as
+        they land.  A worker found dead here runs the crash policy (its
+        stale shards were already dropped, so there is nothing to
+        re-dispatch).
+        """
+        caught_up: List[int] = []
+        for worker in sorted(self._lagging):
+            while self._lagging.get(worker, 0) > 0 \
+                    and self._pool.poll(worker):
+                command = self._pool.next_reply_command(worker)
+                try:
+                    reply = self._pool.recv(worker)
+                except WorkerCrash as error:
+                    self._handle_crash(None, worker, error)
+                    break
+                if command == "train":
+                    self._lagging[worker] -= 1
+                    self._absorb_stale_reply(worker, reply)
+            if self._lagging.get(worker) == 0:
+                del self._lagging[worker]
+                caught_up.append(worker)
+        return caught_up
+
+    def worker_ready(self, worker: int,
+                     timeout: Optional[float] = None) -> bool:
+        """True when ``worker``'s next reply is ready within ``timeout``."""
+        return bool(self._pool.wait([worker], timeout=timeout))
+
+    def wait_lagging(self, timeout: Optional[float] = None) -> List[int]:
+        """Block (up to ``timeout``) for any lagging worker's stale reply."""
+        if not self._lagging:
+            return []
+        self._pool.wait(sorted(self._lagging), timeout=timeout)
+        return self.poll_lagging()
+
+    def flush_lagging(self, timeout: float = 10.0) -> None:
+        """Best-effort drain of all lagging workers (bounded by deadline)."""
+        deadline = time.monotonic() + timeout
+        while self._lagging and time.monotonic() < deadline:
+            self.wait_lagging(timeout=max(
+                0.0, min(1.0, deadline - time.monotonic())))
 
     def finish_round(self, pending: "PendingRound",
                      advance_round: bool = True) -> List[float]:
@@ -535,8 +950,11 @@ class ProcessPoolBackend(ExecutionBackend):
             pending.mirrors[cid].set_weights(state)
         if advance_round:
             self.transport.next_round()
+        # Dropped clients (timeouts, lost crash shards) have no loss entry;
+        # the round loop reweights the aggregate over the actual reporters.
         return [pending.losses[client.client_id]
-                for client in pending.participants]
+                for client in pending.participants
+                if client.client_id in pending.losses]
 
     def run_local_training(self, participants):
         pending = self.dispatch_round(participants)
@@ -562,7 +980,7 @@ class ProcessPoolBackend(ExecutionBackend):
             # Skip the best-effort sync entirely.
             return
         mirrors = {c.client_id: c for c in trainer.clients}
-        for worker in range(self._pool.num_workers):
+        for worker in self._pool.alive_workers:
             try:
                 snapshots = self._pool.call(worker, "fetch_all", False)
                 for cid, snapshot in snapshots.items():
@@ -573,6 +991,27 @@ class ProcessPoolBackend(ExecutionBackend):
             except (WorkerError, OSError, EOFError):
                 continue
 
+    def sync_for_checkpoint(self) -> None:
+        """Bring the coordinator mirrors to checkpointable state.
+
+        When the pool's protocol is clean, the authoritative worker-side
+        optimizer moments and RNG streams are pulled into the mirrors
+        (exact).  Otherwise — e.g. a recovery just ran — the best available
+        per-client recovery snapshots are applied instead, which is the same
+        state a crash recovery would restore from.
+        """
+        if self.trainer is None or self._pool is None or self._pool.closed:
+            return
+        if self._pool.safe_for_sync and not self._lagging:
+            self._sync_worker_state()
+            return
+        mirrors = {c.client_id: c for c in self.trainer.clients}
+        for cid, snapshot in self._recovery.items():
+            client = mirrors.get(cid)
+            if client is not None and cid in self._owner:
+                restore_client_state(client, snapshot,
+                                     include_weights=False)
+
     def close(self):
         if self._pool is not None and not self._pool.closed:
             try:
@@ -582,6 +1021,10 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pool = None
         self._owner.clear()
         self._local.clear()
+        self._recovery.clear()
+        self._dispatch_count.clear()
+        self._transit.clear()
+        self._lagging.clear()
 
 
 #: name → factory for every built-in backend; factories accept (and may

@@ -36,11 +36,13 @@ already-resident subgraphs) for personalized training.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import time
 import traceback
 import weakref
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -223,7 +225,8 @@ def _train_shard(residents: Dict[int, object], intra_backend,
                  client_ids: Sequence[int], states: Sequence[StateDict],
                  assign: Dict[int, int], intra_worker: str,
                  codec: Tuple[str, int, int] = ("bitdelta", 0, 0),
-                 slowdown: float = 1.0
+                 slowdown: float = 1.0, fault: Optional[Dict] = None,
+                 with_snapshots: bool = False
                  ) -> Tuple[Dict[int, float], Dict[int, Dict], Dict]:
     """Worker-side round: load broadcast weights, train the shard, diff.
 
@@ -252,7 +255,20 @@ def _train_shard(residents: Dict[int, object], intra_backend,
     clock (not wall) is the basis so slow hardware costs a fixed multiple of
     its own compute; wall time on an oversubscribed host includes scheduler
     contention, which would compound the penalty.
+
+    ``fault`` is an injected worker-side failure directive from a
+    :class:`~repro.federated.engine.faults.FaultPlan`: ``{"kind": "crash"}``
+    kills the process before any training (the coordinator sees a dead
+    pipe), ``{"kind": "stall", "duration": s}`` sleeps ``s`` seconds before
+    replying (the straggler a ``round_timeout`` drops).  ``with_snapshots``
+    piggybacks a weight-free :func:`~repro.federated.engine.backends
+    .snapshot_client_state` per shard client onto the reply — the
+    coordinator-side recovery snapshots that let a crashed worker's
+    residents be re-bootstrapped exactly.
     """
+    if fault is not None and fault.get("kind") == "crash":
+        # Simulated hard crash: no reply, no cleanup, dead pipe.
+        os._exit(1)
     start = time.perf_counter()
     cpu_start = time.process_time()
     shard = [residents[cid] for cid in client_ids]
@@ -323,8 +339,26 @@ def _train_shard(residents: Dict[int, object], intra_backend,
         penalty = (time.process_time() - cpu_start) * (slowdown - 1.0)
         time.sleep(penalty)
         elapsed += penalty
+    if fault is not None and fault.get("kind") == "stall":
+        pause = float(fault.get("duration", 0.0))
+        time.sleep(pause)
+        elapsed += pause
+    from repro.federated.engine.faults import payload_checksum
+
     stats = {"mode": mode, "delta_values": delta_values,
-             "clients": len(shard), "busy_sec": elapsed}
+             "clients": len(shard), "busy_sec": elapsed,
+             "checksum": payload_checksum(deltas)}
+    if with_snapshots:
+        from repro.federated.engine.backends import snapshot_client_state
+
+        if resident_plan is not None:
+            # The hot stacked tensors hold the trained weights/moments;
+            # land them back in the client objects before snapshotting.
+            intra_backend.flush_hot()
+        stats["snapshots"] = {
+            client.client_id: snapshot_client_state(client,
+                                                    include_weights=False)
+            for client in shard}
     return losses, deltas, stats
 
 
@@ -339,6 +373,7 @@ def _worker_loop(conn) -> None:
     residents: Dict = {}
     residuals: Dict = {}  # per-client error feedback of the top-k codec
     intra_backend = None  # built lazily, plan cache lives for the process
+    last_train = None     # cached last train reply for corruption resends
     while True:
         try:
             command, payload = conn.recv()
@@ -358,6 +393,13 @@ def _worker_loop(conn) -> None:
                     intra_backend = BatchedBackend()
                 result = _train_shard(residents, intra_backend, residuals,
                                       *payload)
+                last_train = result
+            elif command == "resend":
+                # The coordinator detected a corrupted/dropped reply; ship
+                # the cached result again (a fresh pickle of clean data).
+                if last_train is None:
+                    raise RuntimeError("no train reply cached to resend")
+                result = last_train
             elif command == "fetch":
                 # Mutable state of one resident — eviction pulls only the
                 # worker-owned optimizer moments and RNG streams.
@@ -400,37 +442,81 @@ def _worker_loop(conn) -> None:
 
 
 class WorkerError(RuntimeError):
-    """A command failed inside a worker; carries the worker traceback."""
+    """A command failed inside a worker; carries the worker traceback.
+
+    :attr:`worker` is the failing worker's index, :attr:`command` the
+    command in flight when the failure surfaced, and
+    :attr:`remote_traceback` the formatted traceback text from the worker
+    process (``None`` for coordinator-side failures such as dead pipes) —
+    enough to diagnose a mid-round failure from the coordinator log alone.
+    """
+
+    def __init__(self, message: str, worker: Optional[int] = None,
+                 command: Optional[str] = None,
+                 remote_traceback: Optional[str] = None):
+        super().__init__(message)
+        self.worker = worker
+        self.command = command
+        self.remote_traceback = remote_traceback
+
+
+class WorkerCrash(WorkerError):
+    """A worker process died (dead pipe) instead of answering a command.
+
+    Unlike a :class:`WorkerError` reply — the worker is alive but the
+    command failed — a crash is an infrastructure failure the supervision
+    layer can recover from (``on_worker_failure="restart"|"redistribute"``).
+    """
 
 
 class PersistentWorkerPool:
-    """A fixed team of command-loop worker processes, one pipe each."""
+    """A fixed team of command-loop worker processes, one pipe each.
+
+    Supervision: :meth:`respawn` replaces a dead worker's process and pipe
+    in place, :meth:`mark_dead` retires a slot so surviving workers absorb
+    its load, and :meth:`wait` accepts a timeout so round loops can enforce
+    deadlines.  Dead pipes surface as :class:`WorkerCrash` (with the worker
+    index and the command whose reply was expected) rather than raw
+    ``OSError``/``EOFError``.
+    """
 
     def __init__(self, num_workers: int):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         methods = mp.get_all_start_methods()
-        context = mp.get_context("fork" if "fork" in methods else None)
+        self._context = mp.get_context("fork" if "fork" in methods else None)
         #: set when a command failed and replies may be left queued — see
         #: :meth:`recv`
         self.poisoned = False
         #: per-worker count of sent commands whose reply is still unread
         self._inflight = [0] * num_workers
+        #: per-worker FIFO of in-flight command names (reply attribution)
+        self._commands: List[deque] = [deque() for _ in range(num_workers)]
+        #: per-worker FIFO of replies read off the pipe but not yet consumed
+        #: (``recv_reply_to`` sets these aside) as (status, result, command)
+        self._buffered: List[deque] = [deque() for _ in range(num_workers)]
+        #: worker slots retired by :meth:`mark_dead`
+        self._dead: Set[int] = set()
         self._conns = []
         self._procs = []
         for _ in range(num_workers):
-            parent, child = context.Pipe(duplex=True)
-            process = context.Process(target=_worker_loop, args=(child,),
-                                      daemon=True)
-            process.start()
-            child.close()
+            parent, process = self._spawn_worker()
             self._conns.append(parent)
             self._procs.append(process)
         # Reclaim abandoned pools at GC time (daemon workers additionally
-        # guarantee nothing survives coordinator exit).
+        # guarantee nothing survives coordinator exit).  The finalizer
+        # captures the *live* lists — respawned workers replace their slot
+        # in place, so they are reaped too.
         self._finalizer = weakref.finalize(
-            self, PersistentWorkerPool._reap, list(self._conns),
-            list(self._procs))
+            self, PersistentWorkerPool._reap, self._conns, self._procs)
+
+    def _spawn_worker(self):
+        parent, child = self._context.Pipe(duplex=True)
+        process = self._context.Process(target=_worker_loop, args=(child,),
+                                        daemon=True)
+        process.start()
+        child.close()
+        return parent, process
 
     # ------------------------------------------------------------------
     @property
@@ -441,10 +527,43 @@ class PersistentWorkerPool:
     def closed(self) -> bool:
         return not self._finalizer.alive
 
+    @property
+    def alive_workers(self) -> List[int]:
+        """Worker slots not retired by :meth:`mark_dead`."""
+        return [worker for worker in range(len(self._procs))
+                if worker not in self._dead]
+
+    def is_alive(self, worker: int) -> bool:
+        """True when the slot is active and its process is running."""
+        return worker not in self._dead and self._procs[worker].is_alive()
+
+    # ------------------------------------------------------------------
+    def _crash(self, worker: int, command: Optional[str],
+               cause: BaseException) -> "WorkerCrash":
+        self.poisoned = True
+        self._inflight[worker] = 0
+        self._commands[worker].clear()
+        self._buffered[worker].clear()
+        return WorkerCrash(
+            f"worker {worker} died (pipe closed) "
+            f"while '{command}' was in flight: {cause!r}",
+            worker=worker, command=command)
+
     def send(self, worker: int, command: str, payload=None) -> None:
-        """Queue one command on a worker (non-blocking for small payloads)."""
-        self._conns[worker].send((command, payload))
+        """Queue one command on a worker (non-blocking for small payloads).
+
+        A dead pipe raises :class:`WorkerCrash` so the supervision layer can
+        recover instead of the raw ``BrokenPipeError`` aborting the run.
+        """
+        if worker in self._dead:
+            raise WorkerCrash(f"worker {worker} has been retired",
+                              worker=worker, command=command)
+        try:
+            self._conns[worker].send((command, payload))
+        except (OSError, ValueError, BlockingIOError) as error:
+            raise self._crash(worker, command, error) from error
         self._inflight[worker] += 1
+        self._commands[worker].append(command)
 
     def recv(self, worker: int):
         """Collect the next reply from a worker, re-raising worker errors.
@@ -453,19 +572,117 @@ class PersistentWorkerPool:
         still have unread replies queued, so the strict request→reply
         pairing can no longer be trusted and best-effort operations (the
         close-time state sync) must be skipped rather than consume a stale
-        reply.
+        reply.  A dead pipe raises :class:`WorkerCrash`; a command that
+        failed worker-side raises :class:`WorkerError`, both carrying the
+        worker index, the command the reply answers and (for errors) the
+        remote traceback.
         """
+        if self._buffered[worker]:
+            status, result, command = self._buffered[worker].popleft()
+        else:
+            status, result, command = self._raw_recv(worker)
+        return self._interpret(worker, status, result, command)
+
+    def _raw_recv(self, worker: int):
+        """Read the next reply off the pipe; returns (status, result, cmd)."""
+        command = self._commands[worker][0] if self._commands[worker] \
+            else None
         try:
             status, result = self._conns[worker].recv()
+        except (EOFError, OSError) as error:
+            raise self._crash(worker, command, error) from error
         except BaseException:
             self.poisoned = True
             raise
         self._inflight[worker] -= 1
+        if self._commands[worker]:
+            self._commands[worker].popleft()
+        return status, result, command
+
+    def _interpret(self, worker: int, status, result, command):
         if status != "ok":
             self.poisoned = True
             raise WorkerError(
-                f"worker {worker} failed:\n{result}")
+                f"worker {worker} failed:\n{result}",
+                worker=worker, command=command, remote_traceback=result)
         return result
+
+    def recv_reply_to(self, worker: int, command: str):
+        """Reply to the oldest in-flight command named ``command``.
+
+        Replies always arrive in send order; replies to *earlier* commands
+        are set aside (and served by later :meth:`recv` calls in order), so
+        a caller can chase one specific reply — the corruption-retry path
+        sends ``resend`` while earlier train replies may still be queued.
+        """
+        for index, (status, result, cmd) in enumerate(self._buffered[worker]):
+            if cmd == command:
+                del self._buffered[worker][index]
+                return self._interpret(worker, status, result, cmd)
+        while True:
+            status, result, cmd = self._raw_recv(worker)
+            if cmd == command:
+                return self._interpret(worker, status, result, cmd)
+            self._buffered[worker].append((status, result, cmd))
+
+    def next_reply_command(self, worker: int) -> Optional[str]:
+        """Name of the command the worker's next reply answers (or None)."""
+        if self._buffered[worker]:
+            return self._buffered[worker][0][2]
+        if self._commands[worker]:
+            return self._commands[worker][0]
+        return None
+
+    def poll(self, worker: int) -> bool:
+        """True when a reply from this worker can be read without blocking."""
+        if worker in self._dead:
+            return False
+        if self._buffered[worker]:
+            return True
+        try:
+            return self._conns[worker].poll(0)
+        except (OSError, ValueError):
+            # A closed/broken pipe is "readable": recv will raise the crash.
+            return True
+
+    # ------------------------------------------------------------------
+    def respawn(self, worker: int) -> None:
+        """Replace a dead worker's process and pipe in the same slot.
+
+        The replacement starts with an empty resident registry — the
+        supervision layer re-adopts the lost clients from its recovery
+        snapshots after this call.
+        """
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        old = self._procs[worker]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5.0)
+        parent, process = self._spawn_worker()
+        self._conns[worker] = parent
+        self._procs[worker] = process
+        self._inflight[worker] = 0
+        self._commands[worker].clear()
+        self._buffered[worker].clear()
+        self._dead.discard(worker)
+
+    def mark_dead(self, worker: int) -> None:
+        """Retire a worker slot (redistribute policy): close, don't replace."""
+        self._dead.add(worker)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        process = self._procs[worker]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        self._inflight[worker] = 0
+        self._commands[worker].clear()
+        self._buffered[worker].clear()
 
     @property
     def safe_for_sync(self) -> bool:
@@ -482,20 +699,31 @@ class PersistentWorkerPool:
         self.send(worker, command, payload)
         return self.recv(worker)
 
-    def wait(self, workers: Sequence[int]) -> List[int]:
+    def wait(self, workers: Sequence[int],
+             timeout: Optional[float] = None) -> List[int]:
         """Block until ≥1 of the given workers has a reply ready; return them.
 
         The ``as_completed`` primitive of the pipelined round loop: the
         coordinator folds whichever shard lands first instead of draining
-        replies in dispatch order behind the slowest worker.
+        replies in dispatch order behind the slowest worker.  With a
+        ``timeout`` (seconds) the wait returns an empty list once the
+        deadline passes — the round-timeout primitive.  A worker whose pipe
+        died also reports ready (EOF is readable); its ``recv`` then raises
+        :class:`WorkerCrash`, which is how crashes are detected.
         """
         from multiprocessing.connection import wait as connection_wait
 
-        candidates = list(workers)
+        candidates = [worker for worker in workers
+                      if worker not in self._dead]
         if not candidates:
             return []
-        ready = connection_wait([self._conns[worker]
-                                 for worker in candidates])
+        buffered = [worker for worker in candidates
+                    if self._buffered[worker]]
+        if buffered:
+            # Replies set aside by recv_reply_to are already readable.
+            return buffered
+        ready = connection_wait(
+            [self._conns[worker] for worker in candidates], timeout=timeout)
         ready_ids = {id(conn) for conn in ready}
         return [worker for worker in candidates
                 if id(self._conns[worker]) in ready_ids]
@@ -544,10 +772,13 @@ class PersistentWorkerPool:
 
     @staticmethod
     def _reap(conns, procs) -> None:
+        # A crashed worker's broken pipe (or an already-closed slot retired
+        # by mark_dead) must never abort the close: every failure here is
+        # swallowed so the survivors are always stopped, joined and reaped.
         for conn in conns:
             try:
                 conn.send(("stop", None))
-            except (OSError, ValueError, BlockingIOError):
+            except (OSError, ValueError, BlockingIOError, EOFError):
                 pass
         # Close the parent pipe ends *before* joining: a worker still blocked
         # writing a large unread reply (e.g. after a mid-round abort) gets a
@@ -556,9 +787,10 @@ class PersistentWorkerPool:
         for conn in conns:
             try:
                 conn.close()
-            except OSError:
+            except (OSError, ValueError):
                 pass
         for process in procs:
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=1.0)

@@ -127,8 +127,10 @@ def _record_eval(trainer, round_index: int, losses: Sequence[float],
     train_acc = trainer.evaluate("train")
     test_acc = trainer.evaluate("test")
     per_client = {c.client_id: c.evaluate("test") for c in trainer.clients}
+    # A fully-degraded round (every shard dropped) has no losses to average.
+    loss = float(np.mean(losses)) if len(losses) else float("nan")
     trainer.history.record(round_index, train_acc, test_acc,
-                           float(np.mean(losses)), per_client,
+                           loss, per_client,
                            per_client_lag=per_client_lag,
                            per_client_round_sec=per_client_round_sec)
 
@@ -229,7 +231,7 @@ class SyncPipelinedLoop:
         #: (reading them through ``get_weights`` would copy every array)
         sizes: Dict[int, int] = {}
 
-        for round_index in range(1, rounds + 1):
+        for round_index in range(trainer._completed_rounds + 1, rounds + 1):
             participants = trainer._select_participants()
             context = AggregationContext(
                 round_index=round_index, participants=participants,
@@ -239,6 +241,8 @@ class SyncPipelinedLoop:
 
             pending = backend.dispatch_round(participants,
                                              states=broadcast_states)
+            deadline = None if config.round_timeout is None \
+                else time.monotonic() + config.round_timeout
 
             # The previous round's evaluation overlaps this round's worker
             # training.  Preferred slot: after the fastest shard lands, when
@@ -264,38 +268,58 @@ class SyncPipelinedLoop:
             first_wave = True
             while pending.outstanding:
                 wait_start = time.perf_counter()
-                collected = backend.collect_next(pending)
+                timeout = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                collected = backend.collect_next(pending, timeout=timeout)
                 if not first_wave:
                     # Coordinator time spent blocked on stragglers after
                     # the streaming fold and the eval ran out of work.
                     straggler_wait += time.perf_counter() - wait_start
+                if not collected and deadline is not None \
+                        and time.monotonic() >= deadline \
+                        and pending.outstanding:
+                    # Deadline hit: the late shards are dropped from the
+                    # round and their workers drain in the background.
+                    backend.timeout_outstanding(pending)
                 if fold is not None:
                     for cid in collected:
                         fold.add(index_of[cid], pending.states[cid])
-                if first_wave:
+                if first_wave and collected:
                     first_wave = False
                     if deferred_eval is not None:
                         self._eval(*deferred_eval, broadcast_states)
                         deferred_eval = None
+            for cid in sorted(pending.dropped):
+                trainer.history.record_drop(cid)
+                if fold is not None:
+                    fold.drop(index_of[cid])
             losses = backend.finish_round(pending)
+            reported = [client for client in participants
+                        if client.client_id not in pending.dropped]
 
-            # Logical upload accounting, identical to the lockstep loop.
-            for client in participants:
+            # Logical upload accounting, identical to the lockstep loop
+            # (dropped clients never delivered an upload).
+            for client in reported:
                 size = sizes.get(client.client_id)
                 if size is None:
                     size = sizes[client.client_id] = _state_size(
                         client.get_weights())
                 trainer.tracker.record_upload("model_parameters", size)
 
-            if fold is not None:
+            if not reported:
+                # Fully-degraded round: nothing to aggregate; the global
+                # model — and the previous broadcast — stand unchanged.
+                trainer.tracker.next_round()
+            elif fold is not None:
                 global_state = fold.seal()
                 trainer.server.commit(global_state)
+                broadcast_states = _broadcast(trainer, global_state)
             else:
-                states = [client.get_weights() for client in participants]
-                global_state = trainer.aggregate(states, weights,
-                                                 participants)
-
-            broadcast_states = _broadcast(trainer, global_state)
+                states = [client.get_weights() for client in reported]
+                global_state = trainer.aggregate(
+                    states, [client.num_samples for client in reported],
+                    reported)
+                broadcast_states = _broadcast(trainer, global_state)
             trainer.after_round(round_index, participants)
 
             if round_index % config.eval_every == 0 or round_index == rounds:
@@ -303,9 +327,23 @@ class SyncPipelinedLoop:
                 # window.
                 deferred_eval = (round_index, losses,
                                  dict(pending.round_sec))
+            trainer._completed_rounds = round_index
+            if config.checkpoint_every \
+                    and round_index % config.checkpoint_every == 0:
+                # The checkpoint must hold the history the uninterrupted
+                # run would have at this round, so the deferred evaluation
+                # is flushed first (value-identical: the mirrors it reads
+                # are at broadcast state either way).
+                if deferred_eval is not None:
+                    self._eval(*deferred_eval, broadcast_states)
+                    deferred_eval = None
+                trainer.save_checkpoint(round_index)
 
         if deferred_eval is not None:  # final round has nothing to overlap
             self._eval(*deferred_eval, broadcast_states)
+        if getattr(backend, "flush_lagging", None) is not None \
+                and backend._lagging:
+            backend.flush_lagging()
 
         stats = meter.summary()
         stats.update({
@@ -314,6 +352,7 @@ class SyncPipelinedLoop:
             "straggler_wait_sec": straggler_wait,
             "fused_eval": type(self._fused_eval).__name__
             if self._fused_eval else None,
+            "fault_stats": dict(backend.fault_stats),
         })
         backend.last_pipeline_stats = stats
 
@@ -356,6 +395,15 @@ class AsyncRoundLoop:
             raise ValueError("async_buffer must be >= 1")
         if self.staleness_cap < 0:
             raise ValueError("staleness_cap must be >= 0")
+        if getattr(config, "checkpoint_every", 0) \
+                or getattr(config, "resume_from", None):
+            # A seal is not a barrier: worker-side state is mid-shard at
+            # any checkpointable moment, so a resumed async run could not
+            # reproduce the interrupted one.  Refuse instead of writing
+            # checkpoints that silently do not round-trip.
+            raise ValueError(
+                "round_mode='async' does not support checkpoint/resume; "
+                "use round_mode='sync'")
         if config.participation < 1.0:
             raise ValueError(
                 "round_mode='async' requires full participation "
@@ -400,9 +448,17 @@ class AsyncRoundLoop:
             raise ValueError(
                 "round_mode='async' requires every client to be picklable")
         shards: Dict[int, List] = {}
-        for client in clients:
-            shards.setdefault(backend.owner_of(client.client_id),
-                              []).append(client)
+
+        def rebuild_shards() -> None:
+            # Crash recovery can move residents to new owners (redistribute)
+            # — regroup the per-worker shards from the live ownership map.
+            shards.clear()
+            for client in clients:
+                owner = backend.owner_of(client.client_id)
+                if owner is not None:
+                    shards.setdefault(owner, []).append(client)
+
+        rebuild_shards()
 
         global_state = {key: value.copy()
                         for key, value in clients[0].get_weights().items()}
@@ -432,6 +488,7 @@ class AsyncRoundLoop:
                 states={client.client_id: global_state
                         for client in shards[worker]})
             duration = len(shards[worker]) / backend.worker_speed(worker)
+            virtual_now.setdefault(worker, 0.0)
             jobs[worker] = _AsyncJob(pending, seals,
                                      virtual_now[worker] + duration)
 
@@ -439,24 +496,57 @@ class AsyncRoundLoop:
             dispatch(worker)
 
         while seals < rounds:
+            # Fault degradation left workers idle?  Lagging workers rejoin
+            # once their stale replies drain; recovered/respawned owners
+            # just need a fresh job.
+            if backend._lagging:
+                backend.poll_lagging()
+            for idle in sorted(shards):
+                if idle not in jobs and not backend._lagging.get(idle):
+                    dispatch(idle)
+            if not jobs:
+                # Every owner is lagging — block for a stale reply.
+                backend.wait_lagging(timeout=1.0)
+                continue
             # Virtual-time event queue: the next report to land is the one
             # with the earliest simulated completion (ties break on worker
             # index), independent of real OS scheduling — this is what makes
             # async runs reproducible.
             worker = min(jobs, key=lambda w: (jobs[w].finish_vt, w))
             job = jobs.pop(worker)
-            backend.collect_worker(job.pending, worker)
+            if config.round_timeout is not None \
+                    and not backend.worker_ready(worker,
+                                                 config.round_timeout):
+                # The shard blew the deadline: discard the job, let the
+                # worker drain in the background (staleness-cap analogue
+                # of the sync drop).
+                for cid in backend.abandon_job(job.pending, worker):
+                    trainer.history.record_drop(cid)
+                continue
+            collected = backend.collect_worker(job.pending, worker,
+                                               redispatch=False)
+            if not collected:
+                # The worker died mid-shard: the report is lost (recovery
+                # already re-bootstrapped its residents).  Re-shard over
+                # the recovered ownership; the idle-owner sweep at the top
+                # of the loop puts everyone back to work.
+                for cid in sorted(job.pending.dropped):
+                    trainer.history.record_drop(cid)
+                rebuild_shards()
+                continue
             backend.finish_round(job.pending, advance_round=False)
             virtual_now[worker] = job.finish_vt
 
+            shard_clients = [client for client in job.pending.participants
+                             if client.client_id in job.pending.losses]
             lag = seals - job.version
             lag_sum += lag
             lag_max = max(lag_max, lag)
-            for client in shards[worker]:
+            for client in shard_clients:
                 lag_by_client[client.client_id] = lag
             if lag <= self.staleness_cap:
                 discount = 1.0 / (1.0 + lag)
-                for client in shards[worker]:
+                for client in shard_clients:
                     window_states.append(
                         job.pending.states[client.client_id])
                     window_weights.append(client.num_samples * discount)
@@ -468,7 +558,8 @@ class AsyncRoundLoop:
             else:
                 total_dropped += 1
 
-            dispatch(worker)  # worker never idles waiting for a seal
+            if worker in shards and not backend._lagging.get(worker):
+                dispatch(worker)  # worker never idles waiting for a seal
 
             if window_reports >= self.buffer_size:
                 seals += 1
@@ -492,8 +583,9 @@ class AsyncRoundLoop:
         # the drained reports arrived after the last seal and are discarded.
         for worker in sorted(jobs):
             job = jobs.pop(worker)
-            backend.collect_worker(job.pending, worker)
+            backend.collect_worker(job.pending, worker, redispatch=False)
             backend.finish_round(job.pending, advance_round=False)
+        backend.flush_lagging()
         # Mirrors must end the run at the sealed model, not at whichever
         # half-stale shard states the drain reconstructed.
         for client in clients:
@@ -510,6 +602,7 @@ class AsyncRoundLoop:
             "mean_report_lag": lag_sum / max(1, total_merged + total_dropped),
             "max_report_lag": lag_max,
             "client_lag": dict(lag_by_client),
+            "fault_stats": dict(backend.fault_stats),
         })
         backend.last_pipeline_stats = stats
 

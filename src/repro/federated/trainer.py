@@ -69,6 +69,20 @@ class FederatedConfig:
     quantisation error joining the error feedback).  ``worker_speeds``
     assigns simulated relative speeds to the pool's workers (straggler
     experiments and deterministic async runs).
+
+    Fault tolerance (see the README's fault-tolerance section):
+    ``on_worker_failure`` sets the pool's crash policy — ``"fail"``
+    (default: a dead worker aborts the run), ``"restart"`` (respawn the
+    worker in place) or ``"redistribute"`` (retire it and spread its
+    resident clients over the survivors); either recovery re-bootstraps the
+    lost clients from coordinator-side snapshots.  ``round_timeout``
+    (seconds) drops shards that miss the round deadline — the aggregate
+    reweights over the actual reporters, drops are counted in
+    ``TrainingHistory.client_drops``.  ``checkpoint_every`` > 0 writes a
+    resumable checkpoint to ``checkpoint_dir`` every that many rounds;
+    ``resume_from`` restores one before training continues (bitwise on the
+    serial and sync-pipeline paths).  ``fault_plan`` injects a seeded
+    :class:`~repro.federated.engine.faults.FaultPlan` for chaos testing.
     """
 
     rounds: int = 20
@@ -89,6 +103,12 @@ class FederatedConfig:
     delta_top_k: int = 32
     delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
+    on_worker_failure: str = "fail"
+    round_timeout: Optional[float] = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    resume_from: Optional[str] = None
+    fault_plan: Optional[object] = None
 
 
 class FederatedTrainer:
@@ -129,9 +149,15 @@ class FederatedTrainer:
             delta_codec=self.config.delta_codec,
             delta_top_k=self.config.delta_top_k,
             delta_bits=self.config.delta_bits,
-            worker_speeds=self.config.worker_speeds)
+            worker_speeds=self.config.worker_speeds,
+            on_worker_failure=self.config.on_worker_failure,
+            round_timeout=self.config.round_timeout,
+            fault_plan=self.config.fault_plan)
         self.backend.bind(self)
         self._context: Optional[AggregationContext] = None
+        #: rounds already in the history (non-zero after a checkpoint resume)
+        self._completed_rounds = 0
+        self._resume_applied = False
         #: when True (the default) :meth:`run` releases the backend's
         #: resources as soon as it returns — the legacy standalone behaviour.
         #: Entering the trainer as a context manager defers the release to
@@ -194,6 +220,13 @@ class FederatedTrainer:
     def run(self, rounds: Optional[int] = None) -> TrainingHistory:
         """Execute federated collaborative training and return the history."""
         rounds = rounds if rounds is not None else self.config.rounds
+        if self.config.resume_from and not self._resume_applied:
+            self.load_checkpoint(self.config.resume_from)
+        else:
+            # A fresh (non-resume) run always starts from round 1 — a
+            # trainer re-run keeps its pre-checkpoint semantics of training
+            # the full schedule again.
+            self._completed_rounds = 0
         try:
             self._run_rounds(rounds)
         except BaseException:
@@ -220,7 +253,7 @@ class FederatedTrainer:
         self._run_rounds_lockstep(rounds)
 
     def _run_rounds_lockstep(self, rounds: int) -> None:
-        for round_index in range(1, rounds + 1):
+        for round_index in range(self._completed_rounds + 1, rounds + 1):
             participants = self._select_participants()
             self._context = AggregationContext(
                 round_index=round_index, participants=participants,
@@ -256,6 +289,143 @@ class FederatedTrainer:
                 from repro.federated.engine.pipeline import _record_eval
 
                 _record_eval(self, round_index, losses)
+            self._completed_rounds = round_index
+            self._maybe_checkpoint(round_index)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self, round_index: int) -> None:
+        """Write a checkpoint when the round hits the configured cadence."""
+        every = self.config.checkpoint_every
+        if every and round_index % every == 0:
+            self.save_checkpoint(round_index)
+
+    def checkpoint_path(self, round_index: int) -> str:
+        """Default on-disk location of a given round's checkpoint."""
+        import os
+
+        return os.path.join(self.config.checkpoint_dir,
+                            f"round_{round_index:04d}.ckpt")
+
+    def save_checkpoint(self, round_index: Optional[int] = None,
+                        path: Optional[str] = None) -> str:
+        """Persist the full mid-run training state; returns the file path.
+
+        The checkpoint carries everything a bitwise-identical resume needs:
+        every client's weights, optimizer moments and RNG streams (pulled
+        back from the worker pool first), the server's global state and
+        round counter, the aggregation strategy's cross-round state (e.g.
+        FedOpt moments), the participant-selection RNG, the recorded
+        history and the communication tracker.  Format: a pickled dict with
+        a ``format`` version field, written atomically (temp file +
+        ``os.replace``); ``latest.ckpt`` in ``checkpoint_dir`` always names
+        the newest one.
+        """
+        import os
+        import pickle
+
+        from repro.federated.engine.backends import snapshot_client_state
+
+        round_index = self._completed_rounds if round_index is None \
+            else int(round_index)
+        self.backend.sync_for_checkpoint()
+        history = self.history
+        payload = {
+            "format": 1,
+            "trainer": self.name,
+            "round": round_index,
+            "clients": {
+                client.client_id: snapshot_client_state(
+                    client, include_weights=True)
+                for client in self.clients},
+            "server": {"global_state": self.server.global_state,
+                       "round": self.server.round},
+            "strategy": self.strategy.state_dict(),
+            "trainer_rng": self._rng.bit_generator.state,
+            "history": {
+                "rounds": list(history.rounds),
+                "train_accuracy": list(history.train_accuracy),
+                "test_accuracy": list(history.test_accuracy),
+                "loss": list(history.loss),
+                "client_accuracy": [dict(d) for d in
+                                    history.client_accuracy],
+                "client_lag": [dict(d) for d in history.client_lag],
+                "client_round_sec": [dict(d) for d in
+                                     history.client_round_sec],
+                "client_drops": dict(history.client_drops),
+            },
+            "tracker": {"uploaded": dict(self.tracker.uploaded),
+                        "downloaded": dict(self.tracker.downloaded),
+                        "rounds": self.tracker.rounds},
+        }
+        if path is None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            path = self.checkpoint_path(round_index)
+        temp = f"{path}.tmp"
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+        latest = os.path.join(os.path.dirname(path) or ".", "latest.ckpt")
+        with open(f"{latest}.tmp", "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(f"{latest}.tmp", latest)
+        return path
+
+    def load_checkpoint(self, path: str) -> int:
+        """Restore a :meth:`save_checkpoint` file; returns its round index.
+
+        The next :meth:`run` continues from the checkpointed round — on the
+        serial and sync-pipeline paths bitwise-identically to the run that
+        was interrupted.
+        """
+        import pickle
+
+        from repro.federated.engine.backends import restore_client_state
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        version = payload.get("format")
+        if version != 1:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} in {path}")
+        snapshots = payload["clients"]
+        known = {client.client_id for client in self.clients}
+        if set(snapshots) != known:
+            raise ValueError(
+                f"checkpoint {path} covers clients "
+                f"{sorted(snapshots)}, trainer has {sorted(known)}")
+        # Drop any pool-resident state from a previous run segment: clients
+        # are re-bootstrapped from the restored mirrors on the next round.
+        self.backend.close()
+        for client in self.clients:
+            restore_client_state(client, snapshots[client.client_id],
+                                 include_weights=True)
+        self.server.global_state = payload["server"]["global_state"]
+        self.server.round = payload["server"]["round"]
+        self.strategy.load_state_dict(payload["strategy"])
+        self._rng.bit_generator.state = payload["trainer_rng"]
+        saved = payload["history"]
+        history = self.history
+        history.rounds[:] = saved["rounds"]
+        history.train_accuracy[:] = saved["train_accuracy"]
+        history.test_accuracy[:] = saved["test_accuracy"]
+        history.loss[:] = saved["loss"]
+        history.client_accuracy[:] = [dict(d) for d in
+                                      saved["client_accuracy"]]
+        history.client_lag[:] = [dict(d) for d in saved["client_lag"]]
+        history.client_round_sec[:] = [dict(d) for d in
+                                       saved["client_round_sec"]]
+        history.client_drops.clear()
+        history.client_drops.update(saved["client_drops"])
+        self.tracker.uploaded.clear()
+        self.tracker.uploaded.update(payload["tracker"]["uploaded"])
+        self.tracker.downloaded.clear()
+        self.tracker.downloaded.update(payload["tracker"]["downloaded"])
+        self.tracker.rounds = payload["tracker"]["rounds"]
+        self._completed_rounds = payload["round"]
+        self._resume_applied = True
+        return self._completed_rounds
 
     # ------------------------------------------------------------------
     # Evaluation

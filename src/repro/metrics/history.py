@@ -36,6 +36,14 @@ class TrainingHistory:
     #: resolution :attr:`client_lag` gives async runs; empty dicts for the
     #: lockstep/serial loops
     client_round_sec: List[Dict[int, float]] = field(default_factory=list)
+    #: cumulative count of rounds each client was dropped from (shard
+    #: timed out past ``round_timeout``, or lost with a crashed worker
+    #: under a non-``fail`` recovery policy); absent ids were never dropped
+    client_drops: Dict[int, int] = field(default_factory=dict)
+
+    def record_drop(self, client_id: int) -> None:
+        """Count one dropped-round event for a client (fault degradation)."""
+        self.client_drops[client_id] = self.client_drops.get(client_id, 0) + 1
 
     def record(self, round_index: int, train_acc: float, test_acc: float,
                loss: float, per_client: Optional[Dict[int, float]] = None,
