@@ -524,6 +524,28 @@ def run_delta_codec(graphs, rounds: int = 10, local_epochs: int = 5,
             / max(reference["upload_mb_total"], 1e-9), 3)
         entry["accuracy_gap_vs_bitdelta"] = round(
             reference["test_accuracy"] - entry["test_accuracy"], 4)
+
+    # qtopk index transport: sorted top-k indices ship delta+LEB128 packed
+    # instead of as raw int64 words.  Measured on the top-k index structure
+    # of the last trained global state (real magnitudes, real shapes).
+    from repro.federated.engine.persistent import pack_indices
+
+    raw_words = packed_words = 0
+    for value in trainer.server.global_state.values():
+        flat = np.abs(np.asarray(value, dtype=np.float64)).ravel()
+        k = min(quant_k, flat.size)
+        keep = np.sort(np.argpartition(flat, flat.size - k)[flat.size - k:])
+        packed = pack_indices(keep)
+        raw_words += k
+        packed_words += -(-packed.nbytes // 8)
+    section["index_transport"] = {
+        "top_k": quant_k,
+        "raw_index_words": int(raw_words),
+        "varint_index_words": int(packed_words),
+        "index_bytes_ratio": round(packed_words / max(raw_words, 1), 3),
+    }
+    print(f"step1 codec index varint: {raw_words} -> {packed_words} words "
+          f"({section['index_transport']['index_bytes_ratio']:.2f}x)")
     return section
 
 

@@ -1,0 +1,32 @@
+"""Pytest entry point for the scaling harness (marker: bench).
+
+Skipped by tier-1 runs; enable with ``pytest --run-bench`` or
+``REPRO_RUN_BENCH=1``.  Runs the suite at smoke scale — the checked-in
+``BENCH_scale.json`` artifact is produced by running ``bench_scale.py``
+directly at the full {1k, 10k, 100k} client counts.
+"""
+
+import pytest
+
+from benchmarks.bench_scale import run_scale_suite
+
+
+@pytest.mark.bench
+def test_scale_harness_smoke():
+    report = run_scale_suite(client_counts=(64, 256), cohort=16, rounds=2,
+                             local_epochs=1, num_workers=2,
+                             output_name="BENCH_scale_smoke")
+    # The hard exactness bar: both scaling paths reproduce flat FedAvg.
+    assert report["parity"]["hierarchical_loss_gap"] == 0.0
+    assert report["parity"]["store_trainer_loss_gap"] == 0.0
+    points = report["curve"]["points"]
+    assert [entry["num_clients"] for entry in points] == [64, 256]
+    for entry in points:
+        assert entry["rounds_per_sec"] > 0
+        assert entry["participants_per_round"] == 16
+        assert entry["coordinator_peak_rss_mb"] > 0
+    # 4x the clients must not cost 4x the coordinator footprint: only the
+    # sampled cohort ever materializes, so RSS stays ~flat.
+    assert points[1]["coordinator_peak_rss_mb"] < \
+        2 * points[0]["coordinator_peak_rss_mb"]
+    assert report["headline"]["num_clients"] == 256

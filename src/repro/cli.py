@@ -46,6 +46,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.intra_worker = args.intra_worker
     if getattr(args, "round_mode", None) is not None:
         settings.round_mode = args.round_mode
+    if getattr(args, "hierarchical", None) is not None:
+        settings.hierarchical = args.hierarchical
     if getattr(args, "async_buffer", None) is not None:
         settings.async_buffer = args.async_buffer
     if getattr(args, "staleness_cap", None) is not None:
@@ -100,6 +102,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="process-pool round discipline: sync pipelined "
                              "rounds (exact) or bounded-staleness async "
                              "rounds")
+    parser.add_argument("--hierarchical", action="store_true", default=None,
+                        help="process-pool workers act as edge aggregators: "
+                             "one pre-aggregated fixed-point partial per "
+                             "shard per round instead of per-client uploads "
+                             "(sync rounds, bitwise-equal to flat FedAvg)")
     parser.add_argument("--async-buffer", type=int, default=None,
                         help="async mode: shard reports per server seal")
     parser.add_argument("--staleness-cap", type=int, default=None,

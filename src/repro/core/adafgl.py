@@ -93,6 +93,9 @@ class AdaFGLConfig:
     step1_backend: Optional[str] = None
     step1_aggregation: str = "fedavg"
     round_mode: str = "sync"
+    #: Step-1 workers act as edge aggregators (one fixed-point partial per
+    #: shard per round); sync process-pool rounds only.
+    hierarchical: bool = False
     async_buffer: int = 1
     staleness_cap: int = 3
     delta_codec: str = "bitdelta"
@@ -133,6 +136,7 @@ class AdaFGLConfig:
             weight_decay=self.weight_decay, participation=self.participation,
             seed=self.seed, backend=backend, num_workers=self.num_workers,
             intra_worker=self.intra_worker,
+            hierarchical=self.hierarchical,
             aggregation=self.step1_aggregation,
             round_mode=self.round_mode, async_buffer=self.async_buffer,
             staleness_cap=self.staleness_cap, delta_codec=self.delta_codec,

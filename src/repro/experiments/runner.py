@@ -61,6 +61,9 @@ class ExperimentSettings:
     #: (bounded staleness: seal after ``async_buffer`` shard reports, drop
     #: reports older than ``staleness_cap`` server rounds).
     round_mode: str = "sync"
+    #: workers act as edge aggregators: one pre-aggregated fixed-point
+    #: partial per shard per round (sync process-pool rounds only).
+    hierarchical: bool = False
     async_buffer: int = 1
     staleness_cap: int = 3
     #: persistent-pool upload transport: "bitdelta" (lossless), "topk"
@@ -88,6 +91,7 @@ class ExperimentSettings:
                                aggregation=self.aggregation,
                                num_workers=self.num_workers,
                                intra_worker=self.intra_worker,
+                               hierarchical=self.hierarchical,
                                round_mode=self.round_mode,
                                async_buffer=self.async_buffer,
                                staleness_cap=self.staleness_cap,
@@ -120,6 +124,7 @@ class ExperimentSettings:
                               step1_aggregation=self.aggregation,
                               num_workers=self.num_workers,
                               intra_worker=self.intra_worker,
+                              hierarchical=self.hierarchical,
                               round_mode=self.round_mode,
                               async_buffer=self.async_buffer,
                               staleness_cap=self.staleness_cap,

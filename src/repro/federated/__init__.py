@@ -1,15 +1,18 @@
 """Federated learning framework: clients, server, engine, trainer."""
 
 from repro.federated.client import Client
-from repro.federated.server import Server, fedavg_aggregate
+from repro.federated.server import DeterministicSum, Server, fedavg_aggregate
 from repro.federated.engine import (
     AggregationContext,
     AggregationStrategy,
     BatchedBackend,
+    ClientStore,
     ExecutionBackend,
     FedAdamAggregation,
+    ModelSpec,
     ProcessPoolBackend,
     SerialBackend,
+    StoreFederatedTrainer,
     list_aggregations,
     list_backends,
     make_aggregation,
@@ -21,7 +24,11 @@ from repro.federated.communication import CommunicationTracker
 __all__ = [
     "Client",
     "Server",
+    "DeterministicSum",
     "fedavg_aggregate",
+    "ClientStore",
+    "ModelSpec",
+    "StoreFederatedTrainer",
     "FederatedTrainer",
     "FederatedConfig",
     "CommunicationTracker",

@@ -50,6 +50,11 @@ from repro.federated.engine.batched import (
     build_eval_plan,
     group_states_by_identity,
 )
+from repro.federated.engine.clientstore import (
+    ClientStore,
+    ModelSpec,
+    StoreFederatedTrainer,
+)
 from repro.federated.engine.faults import (
     FaultEvent,
     FaultPlan,
@@ -63,7 +68,9 @@ from repro.federated.engine.persistent import (
     apply_topk_delta,
     encode_state_delta,
     encode_topk_delta,
+    pack_indices,
     quantise_uniform,
+    unpack_indices,
 )
 from repro.federated.engine.pipeline import (
     AsyncRoundLoop,
@@ -110,6 +117,11 @@ __all__ = [
     "apply_state_delta",
     "encode_topk_delta",
     "apply_topk_delta",
+    "pack_indices",
+    "unpack_indices",
+    "ClientStore",
+    "ModelSpec",
+    "StoreFederatedTrainer",
     "AsyncRoundLoop",
     "SyncPipelinedLoop",
     "resolve_round_loop",

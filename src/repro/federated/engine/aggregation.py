@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.federated.server import fedavg_aggregate
+from repro.federated.server import DeterministicSum, fedavg_aggregate
 from repro.graph import edge_homophily
 
 StateDict = Dict[str, np.ndarray]
@@ -58,12 +58,12 @@ class AggregationContext:
 class StreamingAggregate:
     """Incremental weighted merge, bitwise-equal to :func:`fedavg_aggregate`.
 
-    Contributions are folded **in participant order**: an upload arriving
-    out of order is buffered until every earlier participant has been folded,
-    so the floating-point summation order — and therefore the result, bit for
-    bit — is identical to the barrier-style ``sum(w_i · state_i)`` no matter
-    which worker finishes first.  In expectation half the merge work still
-    happens while stragglers compute, which is the point of streaming.
+    Contributions fold the moment they arrive, in any order: the sum runs on
+    :class:`~repro.federated.server.DeterministicSum` fixed-point limbs, so
+    the result is bitwise identical to the barrier-style
+    ``sum(ŵ_i · state_i)`` no matter which worker finishes first — and
+    identical to a two-tier merge of per-worker partials
+    (:meth:`add_partial`), which is what hierarchical edge aggregation ships.
 
     ``finalize`` post-processes the sealed average (e.g. the FedOpt server
     update); the full participant ``weights`` must be known at construction
@@ -81,52 +81,39 @@ class StreamingAggregate:
         self._weights = base / base.sum()
         self._finalize = finalize
         self._expected = int(base.size)
-        self._next = 0
-        self._buffer: Dict[int, StateDict] = {}
+        self._folded: set = set()
         self._dropped: set = set()
         self._dropped_weight = 0.0
-        self._acc: Optional[Dict[str, np.ndarray]] = None
+        self._acc = DeterministicSum()
         self._keys: Optional[frozenset] = None
 
     @property
     def pending(self) -> int:
         """Participants whose contribution has not been folded yet."""
-        return self._expected - self._next
+        return self._expected - len(self._folded) - len(self._dropped)
 
     @property
     def dropped(self) -> int:
         """Participants excluded from the merge via :meth:`drop`."""
         return len(self._dropped)
 
-    def _advance(self) -> None:
-        """Fold buffered / skip dropped contributions in participant order."""
-        while True:
-            if self._next in self._dropped:
-                self._next += 1
-                continue
-            if self._next in self._buffer:
-                state = self._buffer.pop(self._next)
-                weight = self._weights[self._next]
-                if self._acc is None:
-                    # Replicate ``sum(...)`` exactly: the accumulator starts
-                    # at the integer 0 so the first fold is ``0 + w·state``.
-                    self._acc = {key: 0 + weight * value
-                                 for key, value in state.items()}
-                else:
-                    for key, value in state.items():
-                        self._acc[key] = self._acc[key] + weight * value
-                self._next += 1
-                continue
-            return
+    @property
+    def normalized_weights(self) -> np.ndarray:
+        """The globally normalised participant weights ŵ (sum to 1).
 
-    def add(self, index: int, state: StateDict) -> None:
-        """Fold participant ``index``'s upload (buffering out-of-order ones)."""
+        Hierarchical dispatch ships each edge aggregator its shard's slice of
+        these, so worker-side folds use the exact coefficients a flat
+        coordinator fold would.
+        """
+        return self._weights.copy()
+
+    def _check_index(self, index: int) -> None:
         if not 0 <= index < self._expected:
             raise IndexError(f"participant index {index} out of range")
-        if index < self._next or index in self._buffer:
+        if index in self._folded:
             raise ValueError(f"participant {index} already folded")
-        if index in self._dropped:
-            raise ValueError(f"participant {index} was dropped")
+
+    def _check_keys(self, state) -> None:
         # Same loud failure as the barrier fedavg_aggregate: a key-set
         # mismatch would otherwise skew the effective weights silently.
         if self._keys is None:
@@ -134,8 +121,31 @@ class StreamingAggregate:
         elif frozenset(state) != self._keys:
             raise KeyError(
                 "client state dicts have mismatching parameter names")
-        self._buffer[index] = state
-        self._advance()
+
+    def add(self, index: int, state: StateDict) -> None:
+        """Fold participant ``index``'s upload into the running merge."""
+        self._check_index(index)
+        if index in self._dropped:
+            raise ValueError(f"participant {index} was dropped")
+        self._check_keys(state)
+        self._acc.fold(state, float(self._weights[index]))
+        self._folded.add(index)
+
+    def add_partial(self, indices: Sequence[int], partial) -> None:
+        """Merge a pre-aggregated shard: ``Σ ŵ_i·state_i`` over ``indices``.
+
+        ``partial`` is a :meth:`DeterministicSum.partial` export built by an
+        edge aggregator that folded every listed participant with its
+        normalised weight.  Integer limb addition makes the merged result
+        bitwise equal to folding those participants here one by one.
+        """
+        for index in indices:
+            self._check_index(index)
+            if index in self._dropped:
+                raise ValueError(f"participant {index} was dropped")
+        self._check_keys(partial)
+        self._acc.merge(partial)
+        self._folded.update(int(index) for index in indices)
 
     def drop(self, index: int) -> None:
         """Exclude participant ``index`` from the merge (fault degradation).
@@ -146,23 +156,21 @@ class StreamingAggregate:
         partial-participation FedAvg.  A round with no drops is bitwise
         untouched (no renormalisation runs).
         """
-        if not 0 <= index < self._expected:
-            raise IndexError(f"participant index {index} out of range")
-        if index < self._next or index in self._buffer:
-            raise ValueError(f"participant {index} already folded")
+        self._check_index(index)
+        if index in self._dropped:
+            return
         self._dropped.add(index)
         self._dropped_weight += float(self._weights[index])
-        self._advance()
 
     def seal(self) -> StateDict:
         """Finish the merge; every participant must be folded or dropped."""
         if self.pending:
             raise RuntimeError(
                 f"cannot seal: {self.pending} contribution(s) still pending")
-        if self._acc is None:
+        if self._acc.empty:
             raise RuntimeError(
                 "cannot seal: every contribution was dropped")
-        merged = self._acc
+        merged = self._acc.value()
         if self._dropped:
             kept = 1.0 - self._dropped_weight
             if kept <= 0:

@@ -41,6 +41,7 @@ from repro.federated.engine.faults import (
     payload_checksum,
 )
 from repro.federated.engine.persistent import (
+    FOLD_MARKER,
     STACK_MARKER,
     TOPK_MARKER,
     PersistentWorkerPool,
@@ -224,6 +225,18 @@ class PendingRound:
         #: call) spent on local epochs this round — the sync pipeline's
         #: per-client straggler profile (``TrainingHistory.client_round_sec``)
         self.round_sec: Dict[int, float] = {}
+        #: client_id → normalized aggregation weight shipped with the shard
+        #: (hierarchical rounds only); kept on the pending handle so crash
+        #: re-dispatch sends the exact same coefficients
+        self.fold_weights: Optional[Dict[int, float]] = None
+        #: hierarchical rounds: ``(client_ids, fixed-point partial)`` edge
+        #: aggregates, one per worker shard, awaiting a coordinator merge
+        self.partials: List = []
+
+    def take_partials(self) -> List:
+        """Drain the edge-aggregated partial sums collected so far."""
+        drained, self.partials = self.partials, []
+        return drained
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -270,7 +283,8 @@ class ProcessPoolBackend(ExecutionBackend):
                  worker_speeds: Optional[Sequence[float]] = None,
                  on_worker_failure: str = "fail",
                  round_timeout: Optional[float] = None,
-                 fault_plan: Optional[FaultPlan] = None, **_unused):
+                 fault_plan: Optional[FaultPlan] = None,
+                 hierarchical: bool = False, **_unused):
         if intra_worker not in ("auto", "batched", "serial"):
             raise ValueError(
                 "intra_worker must be 'auto', 'batched' or 'serial', "
@@ -293,7 +307,15 @@ class ProcessPoolBackend(ExecutionBackend):
                 f"'redistribute', got {on_worker_failure!r}")
         if round_timeout is not None and round_timeout <= 0:
             raise ValueError("round_timeout must be positive (or None)")
+        if hierarchical and delta_codec != "bitdelta":
+            raise ValueError(
+                "hierarchical=True requires delta_codec='bitdelta': lossy "
+                "codecs cannot carry the exact fixed-point edge aggregates "
+                f"(got {delta_codec!r})")
         self.num_workers = num_workers
+        #: edge-aggregation mode: workers fold their shard's trained states
+        #: locally and ship one (weighted-sum, weight) partial per shard
+        self.hierarchical = bool(hierarchical)
         self.intra_worker = intra_worker
         self.delta_codec = delta_codec
         self.delta_top_k = delta_top_k
@@ -441,7 +463,9 @@ class ProcessPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def dispatch_round(self, participants,
                        states: Optional[Dict[int, Dict[str, np.ndarray]]]
-                       = None) -> "PendingRound":
+                       = None,
+                       fold_weights: Optional[Dict[int, float]] = None
+                       ) -> "PendingRound":
         """Partition the participants and start their worker-side training.
 
         Ships the (deduplicated) per-client broadcast states — read from the
@@ -455,8 +479,15 @@ class ProcessPoolBackend(ExecutionBackend):
         caller just broadcast (the pipelined loop hands back what
         ``personalize`` returned), skipping one full-parameter copy per
         client and letting the dedup recognise shared dicts by identity.
+
+        ``fold_weights`` (hierarchical rounds) maps ``client_id`` to its
+        normalized aggregation coefficient; each worker folds its shard's
+        trained states with those exact coefficients and replies with one
+        fixed-point partial sum instead of per-client deltas.
         """
         pending = PendingRound(list(participants))
+        pending.fold_weights = dict(fold_weights) \
+            if fold_weights is not None else None
         if self._pool is None and len(participants) < 2:
             pending.local_side = list(participants)
             return pending
@@ -584,10 +615,13 @@ class ProcessPoolBackend(ExecutionBackend):
                                            TRANSPORT_KINDS)
         codec = (self.delta_codec, self.delta_top_k, self.delta_bits)
         slowdown = max(1.0, 1.0 / self.worker_speed(worker))
+        fold = None
+        if pending.fold_weights is not None:
+            fold = {cid: pending.fold_weights[cid] for cid in ids}
         self._pool.send(worker, "train",
                         (list(ids), unique, assign, self.intra_worker,
                          codec, slowdown, fault,
-                         self.on_worker_failure != "fail"))
+                         self.on_worker_failure != "fail", fold))
         self._transit.setdefault(worker, []).append(transit)
         pending.groups.setdefault(worker, []).append(list(ids))
         pending.outstanding.add(worker)
@@ -647,7 +681,15 @@ class ProcessPoolBackend(ExecutionBackend):
             # Freshest worker-side optimizer/RNG state per shard client —
             # the baseline a future crash recovery restores from.
             self._recovery.update(stats["snapshots"])
-        if STACK_MARKER in deltas:
+        if FOLD_MARKER in deltas:
+            # Hierarchical round: the worker already folded its shard with
+            # the coordinator-supplied coefficients; absorb one fixed-point
+            # partial (no per-client states to reconstruct).
+            fold_ids, partial = deltas[FOLD_MARKER]
+            pending.partials.append((list(fold_ids), partial))
+            for cid in fold_ids:
+                pending.losses[cid] = worker_losses[cid]
+        elif STACK_MARKER in deltas:
             # Whole-shard stacked bit delta (resident worker plan): one
             # vectorised reconstruction, per-client states are views.
             stack_ids, stacked = deltas[STACK_MARKER]

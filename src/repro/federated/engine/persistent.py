@@ -56,6 +56,11 @@ TOPK_MARKER = "__topk__"
 #: numpy calls and far fewer pickled objects per round)
 STACK_MARKER = "__stacked__"
 
+#: sentinel marking a hierarchical (edge-aggregated) reply: the worker folded
+#: its whole shard with coordinator-supplied weights and ships one
+#: ``(client_ids, fixed-point partial)`` instead of per-client deltas
+FOLD_MARKER = "__fold__"
+
 
 # ----------------------------------------------------------------------
 # Lossless bit-pattern weight deltas
@@ -130,6 +135,54 @@ def apply_stacked_delta(received: Sequence[StateDict],
 
 
 # ----------------------------------------------------------------------
+# Varint index coding (entropy-coded qtopk index vectors)
+# ----------------------------------------------------------------------
+def pack_indices(indices: np.ndarray) -> np.ndarray:
+    """Delta + LEB128 encode a **sorted** index vector into a uint8 stream.
+
+    Sorted top-k indices are dominated by small gaps, so storing the first
+    index followed by successive gaps as LEB128 varints (7 payload bits per
+    byte, high bit = continuation) compresses the classic 8-byte-per-index
+    vector by ~4-8x at benchmark tensor sizes.  Exact round-trip via
+    :func:`unpack_indices`.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    gaps = np.empty(idx.size, dtype=np.uint64)
+    gaps[0] = np.uint64(int(idx[0]))
+    gaps[1:] = np.diff(idx).astype(np.uint64)
+    out = bytearray()
+    for gap in gaps.tolist():
+        while gap > 0x7F:
+            out.append((gap & 0x7F) | 0x80)
+            gap >>= 7
+        out.append(gap)
+    return np.frombuffer(bytes(out), dtype=np.uint8)
+
+
+def unpack_indices(packed: np.ndarray, count: int) -> np.ndarray:
+    """Invert :func:`pack_indices`: recover ``count`` sorted int64 indices."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    data = packed.tobytes()
+    gaps = np.empty(count, dtype=np.int64)
+    pos = 0
+    for i in range(count):
+        shift = 0
+        value = 0
+        while True:
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        gaps[i] = value
+    return np.cumsum(gaps)
+
+
+# ----------------------------------------------------------------------
 # Lossy top-k float deltas (compressed transport, optionally quantised)
 # ----------------------------------------------------------------------
 def quantise_uniform(values: np.ndarray, bits: int) -> np.ndarray:
@@ -167,9 +220,11 @@ def encode_topk_delta(trained: StateDict, received: StateDict, top_k: int,
     transported_values)``: the payload maps each parameter to ``(indices,
     values, shape)``, the new residual is what truncation/quantisation
     dropped this round, and ``transported_values`` counts 8-byte words on
-    the wire — one per kept index plus, per parameter, either one word per
-    kept value (float transport) or ``⌈k · bits / 64⌉`` packed words and
-    one scale word (quantised transport).
+    the wire.  Float transport ships raw int64 indices (one word per kept
+    index plus one per kept value); quantised transport
+    (``bits`` set) entropy-codes the sorted index vector with
+    :func:`pack_indices` — delta + LEB128 varints, ``⌈packed bytes / 8⌉``
+    words — plus ``⌈k · bits / 64⌉`` packed value words and one scale word.
 
     Unlike the bit codec this is **lossy**: the sender must overwrite its own
     weights with :func:`apply_topk_delta` of what it shipped so sender and
@@ -197,20 +252,28 @@ def encode_topk_delta(trained: StateDict, received: StateDict, top_k: int,
         # Kept entries keep only their quantisation error (exactly 0.0 when
         # the transport is float), everything else keeps its full mass.
         dropped.ravel()[keep] = flat[keep] - values
-        payload[key] = (keep.astype(np.int64), values, delta.shape)
         new_residual[key] = dropped
         if bits is None:
+            payload[key] = (keep.astype(np.int64), values, delta.shape)
             transported += 2 * int(keep.size)
         else:
-            transported += int(keep.size) \
+            packed = pack_indices(keep)
+            payload[key] = (packed, values, delta.shape)
+            transported += -(-packed.nbytes // 8) \
                 + -(-int(keep.size) * int(bits) // 64) + 1
     return payload, new_residual, transported
 
 
 def apply_topk_delta(received: StateDict, payload: Dict) -> StateDict:
-    """Add a sparse top-k delta payload onto the received weights."""
+    """Add a sparse top-k delta payload onto the received weights.
+
+    Accepts both index transports: raw int64 vectors (``topk``) and
+    varint-packed uint8 streams (``qtopk``), detected by dtype.
+    """
     state = {}
     for key, (indices, values, shape) in payload.items():
+        if indices.dtype == np.uint8:
+            indices = unpack_indices(indices, len(values))
         dense = np.asarray(received[key], dtype=np.float64).copy()
         dense.ravel()[indices] += values
         state[key] = dense.reshape(shape)
@@ -226,7 +289,8 @@ def _train_shard(residents: Dict[int, object], intra_backend,
                  assign: Dict[int, int], intra_worker: str,
                  codec: Tuple[str, int, int] = ("bitdelta", 0, 0),
                  slowdown: float = 1.0, fault: Optional[Dict] = None,
-                 with_snapshots: bool = False
+                 with_snapshots: bool = False,
+                 fold_weights: Optional[Dict[int, float]] = None
                  ) -> Tuple[Dict[int, float], Dict[int, Dict], Dict]:
     """Worker-side round: load broadcast weights, train the shard, diff.
 
@@ -265,6 +329,14 @@ def _train_shard(residents: Dict[int, object], intra_backend,
     .snapshot_client_state` per shard client onto the reply — the
     coordinator-side recovery snapshots that let a crashed worker's
     residents be re-bootstrapped exactly.
+
+    ``fold_weights`` (hierarchical rounds) maps each shard client to its
+    globally-normalized aggregation coefficient: instead of per-client
+    deltas the worker acts as an **edge aggregator**, folding every trained
+    state into one order-independent fixed-point partial
+    (:class:`~repro.federated.server.DeterministicSum`) and shipping
+    ``{FOLD_MARKER: (client_ids, partial)}`` — an O(parameters) upload for
+    the whole shard, independent of shard size.
     """
     if fault is not None and fault.get("kind") == "crash":
         # Simulated hard crash: no reply, no cleanup, dead pipe.
@@ -304,7 +376,21 @@ def _train_shard(residents: Dict[int, object], intra_backend,
     lossy = codec[0] in ("topk", "qtopk")
     quant_bits = codec[2] if codec[0] == "qtopk" else None
     losses, deltas, delta_values = {}, {}, 0
-    if resident_plan is not None and not lossy:
+    if fold_weights is not None:
+        # Edge aggregation: fold the shard's trained states with the exact
+        # coordinator-supplied coefficients into integer limbs — bitwise
+        # equal to the coordinator folding each state itself, in any order.
+        from repro.federated.server import DeterministicSum
+
+        acc = DeterministicSum()
+        for index, client in enumerate(shard):
+            trained = resident_plan.client_state(index) if resident_plan \
+                else client.get_weights()
+            acc.fold(trained, fold_weights[client.client_id])
+        partial = acc.partial()
+        deltas = {FOLD_MARKER: (list(client_ids), partial)}
+        delta_values = sum(hi.size + lo.size for hi, lo in partial.values())
+    elif resident_plan is not None and not lossy:
         # One vectorised bit-diff per parameter for the whole shard.
         stacked = encode_stacked_delta(
             resident_plan.stacked_params(),

@@ -72,16 +72,30 @@ def resolve_round_loop(trainer):
         raise ValueError(
             f"round_mode must be 'sync' or 'async', got {mode!r}")
     backend = trainer.backend
+    hierarchical = getattr(trainer.config, "hierarchical", False)
     if mode == "async":
+        if hierarchical:
+            raise ValueError(
+                "hierarchical=True requires round_mode='sync' (async seals "
+                "merge per-report, not per-shard partials)")
         if not getattr(backend, "supports_pipelining", False):
             raise ValueError(
                 "round_mode='async' requires the process_pool backend "
                 f"(got '{backend.name}')")
         return AsyncRoundLoop(trainer)
     if not getattr(backend, "supports_pipelining", False):
+        if hierarchical:
+            raise ValueError(
+                "hierarchical=True requires the process_pool backend "
+                f"(got '{backend.name}')")
         return None
     if not all(_uses_default(trainer, hook)
                for hook in ("before_round", "after_round", "aggregate")):
+        if hierarchical:
+            raise ValueError(
+                "hierarchical=True does not support trainers overriding the "
+                "barrier-round hooks (edge aggregators never ship per-client "
+                "states up)")
         return None
     return SyncPipelinedLoop(trainer)
 
@@ -231,16 +245,40 @@ class SyncPipelinedLoop:
         #: (reading them through ``get_weights`` would copy every array)
         sizes: Dict[int, int] = {}
 
+        hierarchical = getattr(backend, "hierarchical", False)
         for round_index in range(trainer._completed_rounds + 1, rounds + 1):
             participants = trainer._select_participants()
+            trainer.history.record_participants(
+                round_index, [client.client_id for client in participants])
             context = AggregationContext(
                 round_index=round_index, participants=participants,
                 trainer=trainer)
             trainer._context = context
             trainer.before_round(round_index, participants)
 
+            # The stream opens before dispatch so hierarchical dispatch can
+            # ship each edge aggregator its shard's globally normalised fold
+            # weights; begin_stream is effect-free, so flat rounds are
+            # untouched by the hoist.
+            weights = [client.num_samples for client in participants]
+            fold = trainer.strategy.begin_stream(weights, context)
+            index_of = {client.client_id: position
+                        for position, client in enumerate(participants)}
+            fold_weights = None
+            if hierarchical:
+                if fold is None:
+                    raise ValueError(
+                        f"hierarchical=True requires a streaming-capable "
+                        f"aggregation (got '{trainer.strategy.name}', which "
+                        "gathers every state)")
+                normalized = fold.normalized_weights
+                fold_weights = {
+                    client.client_id: float(normalized[position])
+                    for position, client in enumerate(participants)}
+
             pending = backend.dispatch_round(participants,
-                                             states=broadcast_states)
+                                             states=broadcast_states,
+                                             fold_weights=fold_weights)
             deadline = None if config.round_timeout is None \
                 else time.monotonic() + config.round_timeout
 
@@ -258,10 +296,6 @@ class SyncPipelinedLoop:
 
             backend.run_local_side(pending)
 
-            weights = [client.num_samples for client in participants]
-            fold = trainer.strategy.begin_stream(weights, context)
-            index_of = {client.client_id: position
-                        for position, client in enumerate(participants)}
             if fold is not None:
                 for client in pending.local_side:
                     fold.add(index_of[client.client_id], client.get_weights())
@@ -282,8 +316,19 @@ class SyncPipelinedLoop:
                     # round and their workers drain in the background.
                     backend.timeout_outstanding(pending)
                 if fold is not None:
+                    # Edge-aggregated shards land as fixed-point partials
+                    # covering the whole shard at once; flat shards land as
+                    # per-client states.
+                    for ids, partial in pending.take_partials():
+                        fold.add_partial([index_of[cid] for cid in ids],
+                                         partial)
+                        trainer.tracker.record_upload(
+                            "edge_aggregate",
+                            sum(hi.size + lo.size
+                                for hi, lo in partial.values()))
                     for cid in collected:
-                        fold.add(index_of[cid], pending.states[cid])
+                        if cid in pending.states:
+                            fold.add(index_of[cid], pending.states[cid])
                 if first_wave and collected:
                     first_wave = False
                     if deferred_eval is not None:
@@ -298,13 +343,16 @@ class SyncPipelinedLoop:
                         if client.client_id not in pending.dropped]
 
             # Logical upload accounting, identical to the lockstep loop
-            # (dropped clients never delivered an upload).
-            for client in reported:
-                size = sizes.get(client.client_id)
-                if size is None:
-                    size = sizes[client.client_id] = _state_size(
-                        client.get_weights())
-                trainer.tracker.record_upload("model_parameters", size)
+            # (dropped clients never delivered an upload).  Hierarchical
+            # rounds already accounted one pre-aggregated partial per edge
+            # aggregator — O(workers) uplink instead of O(clients).
+            if not hierarchical:
+                for client in reported:
+                    size = sizes.get(client.client_id)
+                    if size is None:
+                        size = sizes[client.client_id] = _state_size(
+                            client.get_weights())
+                    trainer.tracker.record_upload("model_parameters", size)
 
             if not reported:
                 # Fully-degraded round: nothing to aggregate; the global
@@ -348,6 +396,7 @@ class SyncPipelinedLoop:
         stats = meter.summary()
         stats.update({
             "round_mode": "sync",
+            "hierarchical": hierarchical,
             "rounds": rounds,
             "straggler_wait_sec": straggler_wait,
             "fused_eval": type(self._fused_eval).__name__
@@ -404,10 +453,9 @@ class AsyncRoundLoop:
             raise ValueError(
                 "round_mode='async' does not support checkpoint/resume; "
                 "use round_mode='sync'")
-        if config.participation < 1.0:
+        if not 0.0 < config.participation <= 1.0:
             raise ValueError(
-                "round_mode='async' requires full participation "
-                "(every client trains continuously)")
+                "participation must be in (0, 1]")
         # The async loop re-dispatches each shard with the raw sealed
         # global model and never runs the barrier-round hooks — both
         # assume lockstep semantics.  Refuse loudly instead of silently
@@ -478,16 +526,27 @@ class AsyncRoundLoop:
         lag_max = 0
 
         def dispatch(worker: int) -> None:
-            # Every shard client trains from the freshest sealed model;
+            # Every dispatched client trains from the freshest sealed model;
             # handing dispatch the shared state dict keeps the broadcast
-            # dedup an identity check.
-            for client in shards[worker]:
+            # dedup an identity check.  ``participation < 1.0`` subsamples
+            # the shard per dispatch from the trainer's dedicated selection
+            # stream — dispatch order follows the virtual clock, so the
+            # sampled sets are deterministic for a fixed seed and speeds.
+            shard = shards[worker]
+            if config.participation < 1.0:
+                from repro.federated.trainer import select_participant_ids
+
+                picked = select_participant_ids(
+                    trainer._participation_rng, len(shard),
+                    config.participation)
+                shard = [shard[position] for position in picked]
+            for client in shard:
                 client.set_weights(global_state)
             pending = backend.dispatch_round(
-                shards[worker],
+                shard,
                 states={client.client_id: global_state
-                        for client in shards[worker]})
-            duration = len(shards[worker]) / backend.worker_speed(worker)
+                        for client in shard})
+            duration = len(shard) / backend.worker_speed(worker)
             virtual_now.setdefault(worker, 0.0)
             jobs[worker] = _AsyncJob(pending, seals,
                                      virtual_now[worker] + duration)
@@ -566,6 +625,8 @@ class AsyncRoundLoop:
                 global_state = self._seal(
                     global_state, window_states, window_weights,
                     window_clients, total_weight, seals)
+                trainer.history.record_participants(
+                    seals, {client.client_id for client in window_clients})
                 for state in window_states:
                     trainer.tracker.record_upload(
                         "model_parameters", _state_size(state))

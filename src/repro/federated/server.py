@@ -1,10 +1,110 @@
-"""Server-side model aggregation (Eq. 4 of the paper)."""
+"""Server-side model aggregation (Eq. 4 of the paper).
+
+The weighted sum at the heart of FedAvg is computed through
+:class:`DeterministicSum`, an order-independent fixed-point accumulator.
+Each product ``w_i * state_i`` is snapped onto a 2**-84 grid and carried as
+two ``int64`` limbs; integer addition is associative and commutative, so the
+aggregate is bitwise identical no matter how the contributions are grouped
+or ordered — a flat coordinator fold, a streaming out-of-order fold, and a
+two-tier hierarchy of per-worker partial folds all produce the same bits.
+That property is what lets edge aggregators pre-fold their shards and ship
+one partial per round (see :mod:`repro.federated.engine.pipeline`).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: hi limb unit is 2**-_HI_BITS model-weight units.
+_HI_BITS = 32
+#: lo limb unit is 2**-_LO_BITS; the residual snap error per fold is below
+#: 2**-85, orders of magnitude under float64 round-off for typical weights.
+_LO_BITS = 84
+#: 2**_CARRY lo units equal one hi unit.
+_CARRY = _LO_BITS - _HI_BITS
+
+_HI_SCALE = float(2.0 ** _HI_BITS)
+_HI_INV = float(2.0 ** -_HI_BITS)
+_LO_SCALE = float(2.0 ** _LO_BITS)
+_LO_INV = float(2.0 ** -_LO_BITS)
+
+
+class DeterministicSum:
+    """Order-independent weighted sum of state dicts.
+
+    Folding ``(state, weight)`` pairs in any order — or merging partial
+    accumulators built elsewhere — yields bitwise-identical results, because
+    every product is converted once to fixed point (two int64 limbs per
+    entry) and only integers are accumulated.  Magnitudes up to ``~2**20``
+    per entry and tens of thousands of contributions fit with ample headroom;
+    model weights and optimizer-scaled updates are far below that.
+    """
+
+    def __init__(self):
+        self._hi: Optional[Dict[str, np.ndarray]] = None
+        self._lo: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def empty(self) -> bool:
+        return self._hi is None
+
+    def _ensure(self, state: Dict[str, np.ndarray]) -> None:
+        if self._hi is None:
+            self._hi = {key: np.zeros(np.shape(value), dtype=np.int64)
+                        for key, value in state.items()}
+            self._lo = {key: np.zeros(np.shape(value), dtype=np.int64)
+                        for key, value in state.items()}
+
+    def _normalize(self, key: str) -> None:
+        # Keep lo within [0, 2**_CARRY) so repeated folds can never overflow
+        # the limb; the arithmetic right shift floors for negatives too.
+        carry = self._lo[key] >> _CARRY
+        self._lo[key] -= carry << _CARRY
+        self._hi[key] += carry
+
+    def fold(self, state: Dict[str, np.ndarray], weight: float) -> None:
+        """Accumulate ``weight * state`` (grid-snapped, order-independent)."""
+        self._ensure(state)
+        for key, value in state.items():
+            v = weight * np.asarray(value, dtype=np.float64)
+            hi = np.rint(v * _HI_SCALE)
+            rem = v - hi * _HI_INV  # exact (Sterbenz)
+            lo = np.rint(rem * _LO_SCALE)
+            self._hi[key] += hi.astype(np.int64)
+            self._lo[key] += lo.astype(np.int64)
+            self._normalize(key)
+
+    def partial(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Export the raw limbs (for shipping a pre-aggregated shard up)."""
+        if self._hi is None:
+            raise RuntimeError("cannot export an empty DeterministicSum")
+        return {key: (self._hi[key].copy(), self._lo[key].copy())
+                for key in self._hi}
+
+    def merge(self, partial: Dict[str, Tuple[np.ndarray, np.ndarray]]) -> None:
+        """Fold another accumulator's :meth:`partial` into this one."""
+        if self._hi is None:
+            self._hi = {key: np.array(hi, dtype=np.int64, copy=True)
+                        for key, (hi, _) in partial.items()}
+            self._lo = {key: np.array(lo, dtype=np.int64, copy=True)
+                        for key, (_, lo) in partial.items()}
+            return
+        if set(partial) != set(self._hi):
+            raise KeyError("partial sums have mismatching parameter names")
+        for key, (hi, lo) in partial.items():
+            self._hi[key] += np.asarray(hi, dtype=np.int64)
+            self._lo[key] += np.asarray(lo, dtype=np.int64)
+            self._normalize(key)
+
+    def value(self) -> Dict[str, np.ndarray]:
+        """Convert back to float64 (one deterministic rounding per entry)."""
+        if self._hi is None:
+            raise RuntimeError("cannot read an empty DeterministicSum")
+        return {key: self._hi[key].astype(np.float64) * _HI_INV
+                + self._lo[key].astype(np.float64) * _LO_INV
+                for key in self._hi}
 
 
 def fedavg_aggregate(states: Sequence[Dict[str, np.ndarray]],
@@ -12,7 +112,9 @@ def fedavg_aggregate(states: Sequence[Dict[str, np.ndarray]],
                      ) -> Dict[str, np.ndarray]:
     """Weighted average of client state dicts (FedAvg, Eq. 4).
 
-    ``weights`` default to uniform; they are normalised internally.
+    ``weights`` default to uniform; they are normalised internally.  The sum
+    runs through :class:`DeterministicSum`, so any regrouping of the same
+    contributions (streaming folds, hierarchical partials) is bitwise equal.
     """
     if not states:
         raise ValueError("fedavg_aggregate needs at least one state dict")
@@ -30,10 +132,10 @@ def fedavg_aggregate(states: Sequence[Dict[str, np.ndarray]],
         if set(state) != keys:
             raise KeyError("client state dicts have mismatching parameter names")
 
-    aggregated: Dict[str, np.ndarray] = {}
-    for key in states[0]:
-        aggregated[key] = sum(w * state[key] for w, state in zip(weights, states))
-    return aggregated
+    acc = DeterministicSum()
+    for weight, state in zip(weights, states):
+        acc.fold(state, float(weight))
+    return acc.value()
 
 
 class Server:

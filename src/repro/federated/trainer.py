@@ -41,6 +41,36 @@ from repro.graph import Graph
 from repro.metrics import TrainingHistory
 from repro.nn import Module
 
+#: stream key that separates participant selection from every other use of
+#: the run seed, so changing ``participation`` can never perturb training
+#: RNG parity (model init, dropout, ...).
+_PARTICIPATION_STREAM = 0x9E3779B9
+
+
+def participation_rng(seed: int) -> np.random.Generator:
+    """The dedicated seeded stream participant subsampling draws from."""
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), _PARTICIPATION_STREAM]))
+
+
+def select_participant_ids(rng: np.random.Generator, total: int,
+                           fraction: float) -> List[int]:
+    """Pick this round's participant ids (sorted) out of ``range(total)``.
+
+    ``fraction < 1.0`` floors the count and caps it at ``total - 1``, so a
+    partial-participation request can never silently select 100% of the
+    clients however small ``total`` is; the floor is clamped up to one
+    participant.  ``fraction >= 1.0`` selects everyone without consuming
+    randomness.
+    """
+    if total <= 0:
+        raise ValueError("participant selection needs at least one client")
+    if fraction >= 1.0:
+        return list(range(total))
+    count = max(1, min(int(fraction * total), total - 1)) if total > 1 else 1
+    chosen = rng.choice(total, size=count, replace=False)
+    return sorted(int(index) for index in chosen)
+
 
 @dataclass
 class FederatedConfig:
@@ -95,6 +125,12 @@ class FederatedConfig:
     backend: Union[str, ExecutionBackend] = "serial"
     num_workers: int = 0
     intra_worker: str = "auto"
+    #: process-pool workers act as edge aggregators: each folds its shard's
+    #: trained states locally and ships one pre-aggregated fixed-point
+    #: partial up per round, so coordinator fold work and traffic are
+    #: O(workers) instead of O(clients).  Bitwise-equal to flat FedAvg
+    #: (sync rounds, streaming-capable strategies, lossless transport).
+    hierarchical: bool = False
     aggregation: Union[str, AggregationStrategy] = "fedavg"
     round_mode: str = "sync"
     async_buffer: int = 1
@@ -125,6 +161,7 @@ class FederatedTrainer:
         self.tracker = CommunicationTracker()
         self.history = TrainingHistory()
         self._rng = np.random.default_rng(self.config.seed)
+        self._participation_rng = participation_rng(self.config.seed)
         self.clients: List[Client] = []
         for index, graph in enumerate(subgraphs):
             model = model_factory(graph)
@@ -146,6 +183,7 @@ class FederatedTrainer:
         self.backend: ExecutionBackend = make_backend(
             self.config.backend, num_workers=self.config.num_workers,
             intra_worker=self.config.intra_worker,
+            hierarchical=self.config.hierarchical,
             delta_codec=self.config.delta_codec,
             delta_top_k=self.config.delta_top_k,
             delta_bits=self.config.delta_bits,
@@ -153,6 +191,13 @@ class FederatedTrainer:
             on_worker_failure=self.config.on_worker_failure,
             round_timeout=self.config.round_timeout,
             fault_plan=self.config.fault_plan)
+        if self.config.hierarchical \
+                and not getattr(self.backend, "hierarchical", False):
+            # make_backend filters kwargs by signature, so an incapable
+            # backend silently ignores the flag — fail loudly instead.
+            raise ValueError(
+                "hierarchical=True requires the process_pool backend "
+                f"(got '{self.backend.name}')")
         self.backend.bind(self)
         self._context: Optional[AggregationContext] = None
         #: rounds already in the history (non-zero after a checkpoint resume)
@@ -210,12 +255,18 @@ class FederatedTrainer:
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
+    def _select_participant_ids(self) -> List[int]:
+        """This round's participant ids, drawn from the dedicated stream.
+
+        Id-based so callers scaling past resident ``Client`` objects (the
+        lazy client store) share the exact selection sequence.
+        """
+        return select_participant_ids(self._participation_rng,
+                                      len(self.clients),
+                                      self.config.participation)
+
     def _select_participants(self) -> List[Client]:
-        count = max(1, int(round(self.config.participation * len(self.clients))))
-        if count >= len(self.clients):
-            return list(self.clients)
-        chosen = self._rng.choice(len(self.clients), size=count, replace=False)
-        return [self.clients[i] for i in sorted(chosen)]
+        return [self.clients[i] for i in self._select_participant_ids()]
 
     def run(self, rounds: Optional[int] = None) -> TrainingHistory:
         """Execute federated collaborative training and return the history."""
@@ -255,6 +306,8 @@ class FederatedTrainer:
     def _run_rounds_lockstep(self, rounds: int) -> None:
         for round_index in range(self._completed_rounds + 1, rounds + 1):
             participants = self._select_participants()
+            self.history.record_participants(
+                round_index, [client.client_id for client in participants])
             self._context = AggregationContext(
                 round_index=round_index, participants=participants,
                 trainer=self)
@@ -343,6 +396,7 @@ class FederatedTrainer:
                        "round": self.server.round},
             "strategy": self.strategy.state_dict(),
             "trainer_rng": self._rng.bit_generator.state,
+            "participation_rng": self._participation_rng.bit_generator.state,
             "history": {
                 "rounds": list(history.rounds),
                 "train_accuracy": list(history.train_accuracy),
@@ -354,6 +408,8 @@ class FederatedTrainer:
                 "client_round_sec": [dict(d) for d in
                                      history.client_round_sec],
                 "client_drops": dict(history.client_drops),
+                "participants": {int(r): list(ids) for r, ids in
+                                 history.participants.items()},
             },
             "tracker": {"uploaded": dict(self.tracker.uploaded),
                         "downloaded": dict(self.tracker.downloaded),
@@ -405,6 +461,9 @@ class FederatedTrainer:
         self.server.round = payload["server"]["round"]
         self.strategy.load_state_dict(payload["strategy"])
         self._rng.bit_generator.state = payload["trainer_rng"]
+        if "participation_rng" in payload:
+            self._participation_rng.bit_generator.state = \
+                payload["participation_rng"]
         saved = payload["history"]
         history = self.history
         history.rounds[:] = saved["rounds"]
@@ -418,6 +477,10 @@ class FederatedTrainer:
                                        saved["client_round_sec"]]
         history.client_drops.clear()
         history.client_drops.update(saved["client_drops"])
+        history.participants.clear()
+        history.participants.update(
+            {int(r): list(ids) for r, ids in
+             saved.get("participants", {}).items()})
         self.tracker.uploaded.clear()
         self.tracker.uploaded.update(payload["tracker"]["uploaded"])
         self.tracker.downloaded.clear()

@@ -40,10 +40,18 @@ class TrainingHistory:
     #: timed out past ``round_timeout``, or lost with a crashed worker
     #: under a non-``fail`` recovery policy); absent ids were never dropped
     client_drops: Dict[int, int] = field(default_factory=dict)
+    #: round index → sorted participant client ids selected that round
+    #: (every round, not just evaluated ones; async rounds record the
+    #: clients merged into each seal)
+    participants: Dict[int, List[int]] = field(default_factory=dict)
 
     def record_drop(self, client_id: int) -> None:
         """Count one dropped-round event for a client (fault degradation)."""
         self.client_drops[client_id] = self.client_drops.get(client_id, 0) + 1
+
+    def record_participants(self, round_index: int, ids) -> None:
+        """Remember which clients were selected to train this round."""
+        self.participants[int(round_index)] = sorted(int(i) for i in ids)
 
     def record(self, round_index: int, train_acc: float, test_acc: float,
                loss: float, per_client: Optional[Dict[int, float]] = None,

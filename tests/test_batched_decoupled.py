@@ -272,10 +272,14 @@ class TestQuantisedDeltaCodec:
         received = {"w": rng.normal(size=(16, 8))}
         trained = {"w": received["w"] + rng.normal(size=(16, 8))}
         _, _, float_words = encode_topk_delta(trained, received, top_k=16)
-        _, _, quant_words = encode_topk_delta(trained, received, top_k=16,
-                                              bits=4)
+        payload, _, quant_words = encode_topk_delta(trained, received,
+                                                    top_k=16, bits=4)
         assert float_words == 2 * 16
-        assert quant_words == 16 + 1 + 1  # indices + packed values + scale
+        # qtopk ships varint-packed indices + packed values + scale word.
+        packed = payload["w"][0]
+        assert packed.dtype == np.uint8
+        assert quant_words == -(-packed.nbytes // 8) + 1 + 1
+        assert quant_words < 16 + 1 + 1  # beats raw int64 index words
 
     def test_backend_validation(self):
         with pytest.raises(ValueError, match="delta_codec"):

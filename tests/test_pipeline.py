@@ -79,8 +79,8 @@ class TestStreamingAggregate:
 
     def test_seal_before_complete_raises(self, rng):
         fold = StreamingAggregate([1.0, 1.0])
-        fold.add(1, self._states(rng, count=1)[0])  # buffered, not folded
-        assert fold.pending == 2
+        fold.add(1, self._states(rng, count=1)[0])  # folds immediately
+        assert fold.pending == 1
         with pytest.raises(RuntimeError, match="pending"):
             fold.seal()
 
@@ -323,9 +323,28 @@ class TestAsyncRounds:
         with pytest.raises(ValueError, match="process_pool"):
             trainer.run()
 
-    def test_async_rejects_partial_participation(self, community_clients):
+    def test_async_partial_participation_is_deterministic(
+            self, community_clients):
+        """Async rounds subsample each dispatched shard from the dedicated
+        participation stream; the virtual clock makes the dispatch order —
+        and therefore the sampled sets — reproducible run to run."""
+        def run():
+            trainer = FederatedGNN(
+                community_clients, "gcn", hidden=16,
+                config=self._async_config(participation=0.5))
+            return trainer.run()
+
+        a, b = run(), run()
+        assert a.participants and a.participants == b.participants
+        total = len(community_clients)
+        for ids in a.participants.values():
+            assert 0 < len(ids) <= total
+        np.testing.assert_array_equal(a.test_accuracy, b.test_accuracy)
+
+    def test_async_rejects_out_of_range_participation(
+            self, community_clients):
         trainer = FederatedGNN(community_clients, "gcn", hidden=16,
-                               config=self._async_config(participation=0.5))
+                               config=self._async_config(participation=1.5))
         with pytest.raises(ValueError, match="participation"):
             trainer.run()
 
