@@ -1,0 +1,307 @@
+"""The ``jit`` backend: numba CSR kernels with graceful per-kernel fallback.
+
+When numba is importable the sparse hot paths compile to ``prange``-parallel
+CSR loops; when it is absent each kernel independently degrades to the best
+numpy/scipy implementation available — which for the sddmm backward is a
+*scatter-free* formulation that is still ≳2× the reference ``np.add.at``
+path, and for the remaining kernels is the reference expression itself.
+
+Parity contract (what the backend-parity suite asserts):
+
+* **Bitwise-safe kernels** — ``spmm`` / ``spmm_batched`` / ``spmm_pattern``
+  forward, the spmm/pattern backwards and the sddmm backward.  The numba
+  loops nest exactly like scipy's CSR matmul (per output row: stored entries
+  in order, multiply then accumulate) and parallelise only over independent
+  output rows, and numba compiles without fast-math so LLVM cannot contract
+  the multiply-add into an FMA: results are bitwise-identical to the numpy
+  reference, with or without numba.
+
+  The scatter-free sddmm backward is bitwise because ``np.add.at`` applies
+  updates in element order and the support arrives in CSR order: the CSR
+  product ``S @ b`` accumulates each output row over exactly that order, and
+  ``Sᵀ @ a`` (CSC traversal) hits every output row in ascending element
+  order too.  Supports whose ``rows`` are *not* sorted fall back to
+  ``np.add.at`` verbatim.
+
+* **Reduction-order-sensitive kernels** — ``sddmm`` forward and the
+  spmm_pattern values-backward are dot reductions that the numpy reference
+  computes with ``np.einsum`` (SIMD partial sums).  A sequential numba dot
+  reorders that reduction and can differ by a few ulps (observed ≤ 2 ulps on
+  float64 at engine shapes), so the jit backend keeps the einsum reference
+  for them by default — the sync training pipeline therefore always runs a
+  bitwise-safe kernel set.  Set ``REPRO_JIT_FAST_DOT=1`` to opt into the
+  numba dot variants where bitwise history parity is not required.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.backend import ArrayBackend, cached_transpose
+from repro.autograd.backend import numpy_backend as ref
+
+try:  # pragma: no cover - exercised only where numba is installed (CI matrix)
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Decorator stub so kernel definitions parse without numba."""
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+    prange = range
+
+
+def numba_available() -> bool:
+    """Whether the jit backend is actually numba-compiled in this process."""
+    return NUMBA_AVAILABLE
+
+
+_FAST_DOT = os.environ.get("REPRO_JIT_FAST_DOT", "0") == "1"
+
+
+# ----------------------------------------------------------------------
+# Support-structure caches
+# ----------------------------------------------------------------------
+# The sddmm support (rows, cols) and spmm_pattern structure are graph
+# constants reused every epoch; derived structures (row pointers, the
+# transposed-traversal permutation) are cached by object identity with a
+# strong reference to the source array so the id key cannot be recycled.
+_STRUCT_CACHE: Dict[Tuple[str, int], tuple] = {}
+_STRUCT_CACHE_CAP = 64
+
+
+def _cache_get(kind: str, owner) -> Optional[tuple]:
+    hit = _STRUCT_CACHE.get((kind, id(owner)))
+    if hit is not None and hit[0] is owner:
+        return hit[1]
+    return None
+
+
+def _cache_put(kind: str, owner, value: tuple) -> tuple:
+    if len(_STRUCT_CACHE) >= _STRUCT_CACHE_CAP:
+        _STRUCT_CACHE.clear()
+    _STRUCT_CACHE[(kind, id(owner))] = (owner, value)
+    return value
+
+
+def _rows_structure(rows: np.ndarray, n_rows: int) -> tuple:
+    """``(is_sorted, indptr)`` for a CSR-ordered sddmm row support."""
+    cached = _cache_get("rows", rows)
+    if cached is not None:
+        return cached
+    is_sorted = bool(np.all(rows[:-1] <= rows[1:]))
+    indptr = None
+    if is_sorted:
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+    return _cache_put("rows", rows, (is_sorted, indptr))
+
+
+def _cols_structure(cols: np.ndarray, n_cols: int) -> tuple:
+    """``(indptr_t, perm)``: transposed traversal of the sddmm support.
+
+    ``perm`` lists the support elements column-by-column in ascending
+    element order within each column (a stable counting sort), so a walk in
+    this order accumulates each output row of the column gradient in the
+    exact order ``np.add.at`` would.
+    """
+    cached = _cache_get("cols", cols)
+    if cached is not None:
+        return cached
+    counts = np.bincount(cols, minlength=n_cols)
+    indptr_t = np.zeros(n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr_t[1:])
+    perm = np.argsort(cols, kind="stable").astype(np.int64)
+    return _cache_put("cols", cols, (indptr_t, perm))
+
+
+def _pattern_transpose_structure(pattern: sp.csr_matrix) -> tuple:
+    """``(indptr_t, indices_t, perm)`` of a fixed CSR pattern's transpose."""
+    cached = _cache_get("pattern_t", pattern)
+    if cached is not None:
+        return cached
+    rows = np.repeat(np.arange(pattern.shape[0], dtype=np.int64),
+                     np.diff(pattern.indptr))
+    indptr_t, perm = _cols_structure(pattern.indices, pattern.shape[1])
+    return _cache_put("pattern_t", pattern,
+                      (indptr_t, rows[perm].copy(), perm))
+
+
+# ----------------------------------------------------------------------
+# numba kernels (compiled lazily on first call when numba is present)
+# ----------------------------------------------------------------------
+@njit(parallel=True, cache=True)
+def _spmm_csr(indptr, indices, data, dense, out):  # pragma: no cover - numba
+    # One independent output row per parallel iteration; within a row the
+    # stored entries accumulate in order — scipy's exact loop nest.
+    for i in prange(indptr.shape[0] - 1):
+        for e in range(indptr[i], indptr[i + 1]):
+            v = data[e]
+            c = indices[e]
+            for j in range(dense.shape[1]):
+                out[i, j] += v * dense[c, j]
+
+
+@njit(parallel=True, cache=True)
+def _sddmm_grad_rows(indptr, cols, grad, b, out):  # pragma: no cover - numba
+    for r in prange(indptr.shape[0] - 1):
+        for e in range(indptr[r], indptr[r + 1]):
+            g = grad[e]
+            c = cols[e]
+            for j in range(b.shape[1]):
+                out[r, j] += g * b[c, j]
+
+
+@njit(parallel=True, cache=True)
+def _sddmm_grad_cols(indptr_t, perm, rows, grad, a, out):  # pragma: no cover
+    for c in prange(indptr_t.shape[0] - 1):
+        for k in range(indptr_t[c], indptr_t[c + 1]):
+            e = perm[k]
+            g = grad[e]
+            r = rows[e]
+            for j in range(a.shape[1]):
+                out[c, j] += g * a[r, j]
+
+
+@njit(parallel=True, cache=True)
+def _sddmm_dot(rows, cols, a, b, out):  # pragma: no cover - numba, opt-in
+    # Sequential dot per edge: reduction order differs from np.einsum's SIMD
+    # partial sums by a few ulps — REPRO_JIT_FAST_DOT=1 territory only.
+    for e in prange(rows.shape[0]):
+        r = rows[e]
+        c = cols[e]
+        acc = 0.0
+        for j in range(a.shape[1]):
+            acc += a[r, j] * b[c, j]
+        out[e] = acc
+
+
+# ----------------------------------------------------------------------
+# Kernel implementations
+# ----------------------------------------------------------------------
+def spmm(adjacency: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    if not NUMBA_AVAILABLE:
+        return ref.spmm(adjacency, dense)
+    out = np.zeros((adjacency.shape[0], dense.shape[1]), dtype=np.float64)
+    _spmm_csr(adjacency.indptr, adjacency.indices, adjacency.data, dense, out)
+    return out
+
+
+def spmm_backward(adjacency, adjacency_t, grad):
+    transpose = cached_transpose(adjacency) if adjacency_t is None \
+        else adjacency_t
+    return spmm(transpose, grad)
+
+
+def spmm_batched(adjacency, dense):
+    batch, nodes, channels = dense.shape
+    flat = dense.reshape(batch * nodes, channels)
+    return spmm(adjacency, flat).reshape(batch, nodes, channels)
+
+
+def sddmm(rows, cols, a, b):
+    if NUMBA_AVAILABLE and _FAST_DOT:
+        out = np.empty(rows.shape[0], dtype=np.float64)
+        _sddmm_dot(rows, cols, a, b, out)
+        return out
+    return ref.sddmm(rows, cols, a, b)
+
+
+def sddmm_backward(rows, cols, a, b, grad, need_a, need_b):
+    """Scatter-free sddmm backward on a CSR-ordered support.
+
+    ``grad_a = S @ b`` and ``grad_b = Sᵀ @ a`` where ``S`` carries ``grad``
+    on the support — no ``np.add.at`` scatter and no ``(nnz, f)``
+    intermediate product.  Unsorted supports keep the reference scatter.
+    """
+    is_sorted, indptr = _rows_structure(rows, a.shape[0])
+    if not is_sorted:
+        return ref.sddmm_backward(rows, cols, a, b, grad, need_a, need_b)
+    grad_a = grad_b = None
+    if NUMBA_AVAILABLE:
+        if need_a:
+            grad_a = np.zeros_like(a)
+            _sddmm_grad_rows(indptr, cols.astype(np.int64, copy=False),
+                             grad, b, grad_a)
+        if need_b:
+            indptr_t, perm = _cols_structure(cols, b.shape[0])
+            grad_b = np.zeros_like(b)
+            _sddmm_grad_cols(indptr_t, perm,
+                             rows.astype(np.int64, copy=False),
+                             grad, a, grad_b)
+        return grad_a, grad_b
+    matrix = sp.csr_matrix((grad, cols, indptr),
+                           shape=(a.shape[0], b.shape[0]))
+    if need_a:
+        grad_a = matrix @ b
+    if need_b:
+        grad_b = matrix.T @ a
+    return grad_a, grad_b
+
+
+def spmm_pattern(pattern, values, dense):
+    matrix = sp.csr_matrix((values, pattern.indices, pattern.indptr),
+                           shape=pattern.shape)
+    if not NUMBA_AVAILABLE:
+        return matrix @ dense, matrix
+    out = np.zeros((pattern.shape[0], dense.shape[1]), dtype=np.float64)
+    _spmm_csr(pattern.indptr, pattern.indices, values, dense, out)
+    return out, matrix
+
+
+def spmm_pattern_backward_values(pattern, grad, dense):
+    if NUMBA_AVAILABLE and _FAST_DOT:
+        rows = np.repeat(np.arange(pattern.shape[0], dtype=np.int64),
+                         np.diff(pattern.indptr))
+        out = np.empty(pattern.nnz, dtype=np.float64)
+        _sddmm_dot(rows, pattern.indices.astype(np.int64, copy=False),
+                   grad, dense, out)
+        return out
+    return ref.spmm_pattern_backward_values(pattern, grad, dense)
+
+
+def spmm_pattern_backward_dense(matrix, grad):
+    if not NUMBA_AVAILABLE:
+        return ref.spmm_pattern_backward_dense(matrix, grad)
+    indptr_t, indices_t, perm = _pattern_transpose_structure(matrix)
+    out = np.zeros((matrix.shape[1], grad.shape[1]), dtype=np.float64)
+    _spmm_csr(indptr_t, indices_t, matrix.data[perm], grad, out)
+    return out
+
+
+class JitBackend(ArrayBackend):
+    """JIT backend: numba CSR kernels, per-kernel numpy/scipy fallback."""
+
+    name = "jit"
+    xp = np
+
+    def __init__(self):
+        super().__init__()
+        self.register_kernel("spmm", spmm)
+        self.register_kernel("spmm_backward", spmm_backward)
+        self.register_kernel("spmm_batched", spmm_batched)
+        self.register_kernel("sddmm", sddmm)
+        self.register_kernel("sddmm_backward", sddmm_backward)
+        self.register_kernel("spmm_pattern", spmm_pattern)
+        self.register_kernel("spmm_pattern_backward_values",
+                             spmm_pattern_backward_values)
+        self.register_kernel("spmm_pattern_backward_dense",
+                             spmm_pattern_backward_dense)
+        # Mask generation/application are memory-bound elementwise numpy ops;
+        # the fused numba variant measured within noise, so the reference
+        # expressions stay (and keep RNG consumption identical by contract).
+        self.register_kernel("dropout_mask", ref.dropout_mask)
+        self.register_kernel("apply_mask", ref.apply_mask)

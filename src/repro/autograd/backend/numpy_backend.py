@@ -1,0 +1,109 @@
+"""The numpy reference backend.
+
+These kernels are the engine's original expressions, verbatim — the *bitwise
+parity reference* every other backend is tested against.  This module is the
+only place the hot-path primitives may touch ``np.`` directly
+(``tools/check_backend_dispatch.py`` enforces the seam on
+``functional.py``).
+
+Accumulation-order contract (what "bitwise" rests on):
+
+* ``spmm`` — scipy's CSR matmul accumulates each output row over the stored
+  entries in order; the backward multiplies by the shared cached CSR
+  transpose, which gathers contributions in ascending source-row order —
+  the same order the historical per-call ``A.T @ grad`` CSC product used.
+* ``sddmm`` backward — ``np.add.at`` applies updates in element order;
+  rows/cols arrive in CSR order (rows ascending, cols ascending within a
+  row) from the fixed-support message-passing path.
+* ``dropout_mask`` — consumes ``rng.random(shape)`` exactly once, so every
+  backend advances a module's generator identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.backend import ArrayBackend, cached_transpose
+
+
+def spmm(adjacency: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    return adjacency @ dense
+
+
+def spmm_backward(adjacency: sp.csr_matrix, adjacency_t, grad: np.ndarray
+                  ) -> np.ndarray:
+    transpose = cached_transpose(adjacency) if adjacency_t is None \
+        else adjacency_t
+    return transpose @ grad
+
+
+def spmm_batched(adjacency: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    batch, nodes, channels = dense.shape
+    flat = dense.reshape(batch * nodes, channels)
+    return (adjacency @ flat).reshape(batch, nodes, channels)
+
+
+def sddmm(rows: np.ndarray, cols: np.ndarray, a: np.ndarray, b: np.ndarray
+          ) -> np.ndarray:
+    return np.einsum("ij,ij->i", a[rows], b[cols])
+
+
+def sddmm_backward(rows, cols, a, b, grad, need_a, need_b):
+    column = grad[:, None]
+    grad_a = grad_b = None
+    if need_a:
+        grad_a = np.zeros_like(a)
+        np.add.at(grad_a, rows, column * b[cols])
+    if need_b:
+        grad_b = np.zeros_like(b)
+        np.add.at(grad_b, cols, column * a[rows])
+    return grad_a, grad_b
+
+
+def spmm_pattern(pattern: sp.csr_matrix, values: np.ndarray,
+                 dense: np.ndarray):
+    matrix = sp.csr_matrix((values, pattern.indices, pattern.indptr),
+                           shape=pattern.shape)
+    return matrix @ dense, matrix
+
+
+def spmm_pattern_backward_values(pattern: sp.csr_matrix, grad: np.ndarray,
+                                 dense: np.ndarray) -> np.ndarray:
+    rows = np.repeat(np.arange(pattern.shape[0]), np.diff(pattern.indptr))
+    return np.einsum("ij,ij->i", grad[rows], dense[pattern.indices])
+
+
+def spmm_pattern_backward_dense(matrix: sp.csr_matrix, grad: np.ndarray
+                                ) -> np.ndarray:
+    return matrix.T @ grad
+
+
+def dropout_mask(rng: np.random.Generator, shape, p: float) -> np.ndarray:
+    return (rng.random(shape) >= p) / (1.0 - p)
+
+
+def apply_mask(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return x * mask
+
+
+class NumpyBackend(ArrayBackend):
+    """Default backend: numpy namespace, reference kernels."""
+
+    name = "numpy"
+    xp = np
+
+    def __init__(self):
+        super().__init__()
+        self.register_kernel("spmm", spmm)
+        self.register_kernel("spmm_backward", spmm_backward)
+        self.register_kernel("spmm_batched", spmm_batched)
+        self.register_kernel("sddmm", sddmm)
+        self.register_kernel("sddmm_backward", sddmm_backward)
+        self.register_kernel("spmm_pattern", spmm_pattern)
+        self.register_kernel("spmm_pattern_backward_values",
+                             spmm_pattern_backward_values)
+        self.register_kernel("spmm_pattern_backward_dense",
+                             spmm_pattern_backward_dense)
+        self.register_kernel("dropout_mask", dropout_mask)
+        self.register_kernel("apply_mask", apply_mask)

@@ -3,6 +3,13 @@
 Everything here returns a :class:`~repro.autograd.tensor.Tensor` that is wired
 into the autodiff graph.  Sparse propagation matrices (scipy CSR) enter the
 graph as constants through :func:`spmm`.
+
+The sparse/fused hot-path primitives (``spmm``, ``spmm_batched``, ``sddmm``,
+``spmm_pattern``, ``dropout``) contain **no array math of their own**: they
+dispatch to the kernel registry of the operand tensor's
+:class:`~repro.autograd.backend.ArrayBackend` (``tools/check_backend_dispatch.py``
+rejects bare ``np.`` calls inside them).  Activations and losses below route
+through :class:`~repro.autograd.tensor.Tensor`'s backend namespace.
 """
 
 from __future__ import annotations
@@ -34,16 +41,17 @@ def spmm(adjacency: sp.spmatrix, dense: Tensor,
     The sparse operand is treated as a constant (no gradient flows into the
     adjacency), matching how propagation matrices are used in GNNs.  Callers
     on a hot path may pass ``adjacency_t`` (a precomputed ``A.T`` in CSR
-    form) so the backward pass skips the per-call transpose.
+    form); otherwise the backward reuses the dispatch layer's shared
+    transposed-CSR cache, so no path re-transposes per call.
     """
     if not sp.issparse(adjacency):
         raise TypeError("spmm expects a scipy sparse matrix as first operand")
-    adjacency = adjacency.tocsr()
-    out_data = adjacency @ dense.data
+    backend = dense.backend
+    adjacency = backend.prepare_sparse(adjacency)
+    out_data = backend.spmm(adjacency, dense.data)
 
     def backward(grad):
-        transpose = adjacency.T if adjacency_t is None else adjacency_t
-        dense._accumulate(transpose @ grad)
+        dense._accumulate(backend.spmm_backward(adjacency, adjacency_t, grad))
 
     return Tensor._make(out_data, (dense,), backward)
 
@@ -73,9 +81,17 @@ def spmm_batched(adjacency: sp.spmatrix, dense: Tensor,
         raise ValueError(
             f"block-diagonal operator has {adjacency.shape[0]} rows, "
             f"expected {batch * nodes}")
-    flat = dense.reshape(batch * nodes, channels)
-    return spmm(adjacency, flat,
-                adjacency_t=adjacency_t).reshape(batch, nodes, channels)
+    backend = dense.backend
+    adjacency = backend.prepare_sparse(adjacency)
+    out_data = backend.spmm_batched(adjacency, dense.data)
+
+    def backward(grad):
+        flat = grad.reshape(batch * nodes, channels)
+        dense._accumulate(
+            backend.spmm_backward(adjacency, adjacency_t,
+                                  flat).reshape(batch, nodes, channels))
+
+    return Tensor._make(out_data, (dense,), backward)
 
 
 def sddmm(rows: np.ndarray, cols: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -87,19 +103,18 @@ def sddmm(rows: np.ndarray, cols: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     the sparse-first message passing: restricted to a fixed support, the
     ``H Hᵀ`` update never materialises an ``(n, n)`` matrix.
     """
-    rows = np.asarray(rows)
-    cols = np.asarray(cols)
-    out_data = np.einsum("ij,ij->i", a.data[rows], b.data[cols])
+    backend = a.backend
+    rows = backend.xp.asarray(rows)
+    cols = backend.xp.asarray(cols)
+    out_data = backend.sddmm(rows, cols, a.data, b.data)
 
     def backward(grad):
-        column = grad[:, None]
-        if a.requires_grad:
-            grad_a = np.zeros_like(a.data)
-            np.add.at(grad_a, rows, column * b.data[cols])
+        grad_a, grad_b = backend.sddmm_backward(
+            rows, cols, a.data, b.data, grad,
+            a.requires_grad, b.requires_grad)
+        if grad_a is not None:
             a._accumulate(grad_a)
-        if b.requires_grad:
-            grad_b = np.zeros_like(b.data)
-            np.add.at(grad_b, cols, column * a.data[rows])
+        if grad_b is not None:
             b._accumulate(grad_b)
 
     return Tensor._make(out_data, (a, b), backward)
@@ -116,23 +131,22 @@ def spmm_pattern(pattern: sp.csr_matrix, values: Tensor,
     """
     if not sp.issparse(pattern):
         raise TypeError("spmm_pattern expects a scipy sparse pattern")
-    pattern = pattern.tocsr()
+    backend = dense.backend
+    pattern = backend.prepare_sparse(pattern)
     if values.data.shape != (pattern.nnz,):
         raise ValueError(
             f"values must have one entry per stored element "
             f"({pattern.nnz}), got shape {values.data.shape}")
-    matrix = sp.csr_matrix((values.data, pattern.indices, pattern.indptr),
-                           shape=pattern.shape)
-    out_data = matrix @ dense.data
+    out_data, matrix = backend.spmm_pattern(pattern, values.data, dense.data)
 
     def backward(grad):
         if values.requires_grad:
-            rows = np.repeat(np.arange(pattern.shape[0]),
-                             np.diff(pattern.indptr))
-            values._accumulate(np.einsum("ij,ij->i", grad[rows],
-                                         dense.data[pattern.indices]))
+            values._accumulate(
+                backend.spmm_pattern_backward_values(pattern, grad,
+                                                     dense.data))
         if dense.requires_grad:
-            dense._accumulate(matrix.T @ grad)
+            dense._accumulate(backend.spmm_pattern_backward_dense(matrix,
+                                                                  grad))
 
     return Tensor._make(out_data, (values, dense), backward)
 
@@ -202,17 +216,29 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def dropout(x: Tensor, p: float, training: bool = True,
             rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout.  A no-op when ``training`` is False or ``p == 0``."""
+    """Inverted dropout.  A no-op when ``training`` is False or ``p == 0``.
+
+    An *active* dropout (training, ``0 < p < 1``) requires an explicit
+    seeded generator: the old ``rng=None`` fallback silently drew from an
+    unseeded ``np.random.default_rng()``, making runs unreproducible.
+    Layers thread their own seeded generator
+    (:class:`repro.nn.layers.Dropout` owns one per module).
+    """
     if not training or p <= 0.0:
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
-    rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
-    out_data = x.data * mask
+    if rng is None:
+        raise ValueError(
+            "active dropout requires an explicit random generator; pass "
+            "rng= (e.g. the owning module's seeded generator) instead of "
+            "relying on the removed unseeded default_rng() fallback")
+    backend = x.backend
+    mask = backend.dropout_mask(rng, x.data.shape, p)
+    out_data = backend.apply_mask(x.data, mask)
 
     def backward(grad):
-        x._accumulate(grad * mask)
+        x._accumulate(backend.apply_mask(grad, mask))
 
     return Tensor._make(out_data, (x,), backward)
 

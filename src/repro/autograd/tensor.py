@@ -7,6 +7,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd.backend import ArrayBackend, resolve_backend
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
@@ -30,6 +32,7 @@ def no_grad():
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
+    """Host float64 coercion (kept for callers outside the dispatch layer)."""
     if isinstance(value, np.ndarray):
         if value.dtype != np.float64:
             return value.astype(np.float64)
@@ -61,13 +64,21 @@ class Tensor:
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
+    backend:
+        Array backend (name, instance, or ``None`` for the active
+        :func:`~repro.autograd.backend.use_backend` scope / process
+        default).  The payload is coerced through ``backend.asarray`` and
+        every derived tensor inherits the backend of its first parent.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "backend")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
-                 name: Optional[str] = None):
-        self.data = _as_array(data)
+                 name: Optional[str] = None,
+                 backend: Union[None, str, ArrayBackend] = None):
+        self.backend = resolve_backend(backend)
+        self.data = self.backend.asarray(data)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -93,19 +104,25 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
+    @property
+    def device(self) -> str:
+        """Name of the array backend holding this tensor's payload."""
+        return self.backend.name
+
     def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (no copy)."""
-        return self.data
+        """Return the underlying array as host numpy (no copy when host)."""
+        return self.backend.to_host(self.data)
 
     def item(self) -> float:
         return float(self.data)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, backend=self.backend)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad,
+                      backend=self.backend)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -122,7 +139,10 @@ class Tensor:
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         parents = tuple(parents)
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=False)
+        # Derived tensors live on the backend of their first parent; mixed
+        # parents are the caller's coercion responsibility.
+        out = Tensor(data, requires_grad=False,
+                     backend=parents[0].backend if parents else None)
         out.requires_grad = requires
         if requires:
             out._parents = parents
@@ -136,7 +156,7 @@ class Tensor:
             # Backward closures hand over freshly-allocated arrays and no
             # caller mutates gradients in place (optimizers rebind), so the
             # array can be adopted without a defensive copy.
-            self.grad = np.asarray(grad, dtype=np.float64)
+            self.grad = self.backend.asarray(grad)
         else:
             self.grad = self.grad + grad
 
@@ -149,16 +169,17 @@ class Tensor:
             Upstream gradient.  Defaults to 1.0, which requires the tensor to
             be a scalar.
         """
+        xp = self.backend.xp
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
                     "backward() without a gradient argument requires a scalar "
                     f"tensor, got shape {self.data.shape}"
                 )
-            grad = np.ones_like(self.data)
+            grad = xp.ones_like(self.data)
         # Copy the seed: _accumulate adopts arrays without copying, and the
         # caller may reuse the one it passed in.
-        grad = np.array(grad, dtype=np.float64, copy=True)
+        grad = self.backend.asarray(grad).copy()
 
         # Topologically order the graph reachable from ``self``.
         topo: list[Tensor] = []
@@ -189,7 +210,7 @@ class Tensor:
     def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         if isinstance(other, Tensor):
             return other
-        return Tensor(other)
+        return Tensor(other, backend=self.backend)
 
     def __add__(self, other):
         other = self._coerce(other)
@@ -284,15 +305,16 @@ class Tensor:
         ``(B, n, f) @ (f, h)`` both differentiate correctly.
         """
         other = self._coerce(other)
+        xp = self.backend.xp
         out_data = self.data @ other.data
 
         def backward(grad):
             if self.requires_grad:
                 self._accumulate(_unbroadcast(
-                    grad @ np.swapaxes(other.data, -1, -2), self.data.shape))
+                    grad @ xp.swapaxes(other.data, -1, -2), self.data.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(
-                    np.swapaxes(self.data, -1, -2) @ grad, other.data.shape))
+                    xp.swapaxes(self.data, -1, -2) @ grad, other.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -306,13 +328,14 @@ class Tensor:
     # Reductions / shaping
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        xp = self.backend.xp
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad):
-            g = np.asarray(grad)
+            g = xp.asarray(grad)
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+                g = xp.expand_dims(g, axis)
+            self._accumulate(xp.broadcast_to(g, self.data.shape).copy())
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -335,11 +358,15 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
+        xp = self.backend.xp
         out_data = self.data[index]
 
         def backward(grad):
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            # xp.add.at is a host-namespace scatter; a device backend whose
+            # namespace lacks it (CuPy: cupyx.scatter_add) should override
+            # via a fancy-index gather graph instead of this slow path.
+            full = xp.zeros_like(self.data)
+            xp.add.at(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
@@ -348,7 +375,7 @@ class Tensor:
     # Elementwise functions (also exposed in functional.py)
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = self.backend.xp.exp(self.data)
 
         def backward(grad):
             self._accumulate(grad * out_data)
@@ -356,7 +383,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = self.backend.xp.log(self.data)
 
         def backward(grad):
             self._accumulate(grad / self.data)
@@ -373,7 +400,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = 1.0 / (1.0 + self.backend.xp.exp(-self.data))
 
         def backward(grad):
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -381,7 +408,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = self.backend.xp.tanh(self.data)
 
         def backward(grad):
             self._accumulate(grad * (1.0 - out_data ** 2))
@@ -390,7 +417,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
-        out_data = np.clip(self.data, low, high)
+        out_data = self.backend.xp.clip(self.data, low, high)
 
         def backward(grad):
             self._accumulate(grad * mask)
@@ -401,13 +428,19 @@ class Tensor:
     # Constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, backend=None) -> "Tensor":
+        resolved = resolve_backend(backend)
+        return Tensor(resolved.xp.zeros(shape), requires_grad=requires_grad,
+                      backend=resolved)
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, backend=None) -> "Tensor":
+        resolved = resolve_backend(backend)
+        return Tensor(resolved.xp.ones(shape), requires_grad=requires_grad,
+                      backend=resolved)
 
     @staticmethod
-    def eye(n: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.eye(n), requires_grad=requires_grad)
+    def eye(n: int, requires_grad: bool = False, backend=None) -> "Tensor":
+        resolved = resolve_backend(backend)
+        return Tensor(resolved.xp.eye(n), requires_grad=requires_grad,
+                      backend=resolved)

@@ -23,6 +23,7 @@ from repro.experiments import (
     prepare_clients,
     run_method,
 )
+from repro.autograd import list_array_backends
 from repro.experiments.runner import available_methods
 from repro.federated import list_aggregations, list_backends
 from repro.graph import edge_homophily
@@ -68,6 +69,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.checkpoint_dir = args.checkpoint_dir
     if getattr(args, "resume_from", None) is not None:
         settings.resume_from = args.resume_from
+    if getattr(args, "array_backend", None) is not None:
+        settings.array_backend = args.array_backend
     return settings
 
 
@@ -85,6 +88,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default=None, choices=list_backends(),
                         help="execution backend for federated local training")
+    parser.add_argument("--array-backend", default=None,
+                        choices=list_array_backends(),
+                        help="array backend for every client's local math "
+                             "(numpy = bitwise reference, jit = numba CSR "
+                             "kernels; default: REPRO_ARRAY_BACKEND or "
+                             "numpy)")
     parser.add_argument("--aggregation", default=None,
                         choices=list_aggregations(),
                         help="server aggregation strategy (methods with a "

@@ -72,6 +72,11 @@ class ExperimentSettings:
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
     delta_bits: int = 8
+    #: array backend for every client's local math ("numpy" — the bitwise
+    #: reference — or "jit"); None inherits the process default
+    #: (``REPRO_ARRAY_BACKEND``, else numpy).
+    array_backend: Optional[str] = field(
+        default_factory=lambda: os.environ.get("REPRO_ARRAY_BACKEND"))
     #: fault tolerance (see FederatedConfig): worker-crash policy, round
     #: deadline in seconds, checkpoint cadence/location and resume source.
     on_worker_failure: str = "fail"
@@ -102,7 +107,8 @@ class ExperimentSettings:
                                round_timeout=self.round_timeout,
                                checkpoint_every=self.checkpoint_every,
                                checkpoint_dir=self.checkpoint_dir,
-                               resume_from=self.resume_from)
+                               resume_from=self.resume_from,
+                               array_backend=self.array_backend)
 
     def adafgl_config(self, **overrides) -> AdaFGLConfig:
         # ``sparse_propagation=True`` is the experiment-runner default since
@@ -135,7 +141,8 @@ class ExperimentSettings:
                               round_timeout=self.round_timeout,
                               checkpoint_every=self.checkpoint_every,
                               checkpoint_dir=self.checkpoint_dir,
-                              resume_from=self.resume_from)
+                              resume_from=self.resume_from,
+                              array_backend=self.array_backend)
         for key, value in overrides.items():
             setattr(config, key, value)
         return config

@@ -54,7 +54,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.autograd import Tensor, functional as F, no_grad
+from repro.autograd import (
+    Tensor,
+    functional as F,
+    no_grad,
+    resolve_backend,
+    use_backend,
+)
+from repro.autograd.backend import cached_transpose
 from repro.federated.engine.backends import (
     ExecutionBackend,
     register_backend,
@@ -146,6 +153,9 @@ class _BatchedPlan:
 
     def __init__(self, clients: Sequence):
         self.clients = list(clients)
+        # Plans inherit the array backend of the clients they fuse, so the
+        # batched path selects backends exactly like the serial one.
+        self.array_backend = getattr(clients[0], "array_backend", None)
         self.sizes, self.n_max, features, self.propagation = \
             _padded_batch(clients)
         batch = len(clients)
@@ -156,7 +166,7 @@ class _BatchedPlan:
             padded_labels[:client.graph.num_nodes] = client.graph.labels
             self.labels.append(padded_labels)
             self.train_idx.append(np.nonzero(client.graph.train_mask)[0])
-        self.features = Tensor(features)
+        self.features = Tensor(features, backend=self.array_backend)
         # Flat supervision indices so the whole group's loss is one fused
         # autograd path: pick every (client, train-row, label) log-probability
         # at once and weight each entry by the client's 1/|train| (the exact
@@ -171,8 +181,9 @@ class _BatchedPlan:
         self.flat_rows = np.concatenate(self.train_idx)
         self.flat_labels = np.concatenate(
             [self.labels[i][idx] for i, idx in enumerate(self.train_idx)])
-        self.flat_weights = Tensor(np.concatenate(
-            [np.full(count, 1.0 / count) for count in counts]))
+        self.flat_weights = Tensor(
+            np.concatenate([np.full(count, 1.0 / count) for count in counts]),
+            backend=self.array_backend)
         self.segments = np.concatenate([[0], np.cumsum(counts)])
         # Stable references into every client's parameters and graph-constant
         # metadata; re-read each round, but resolved only once.
@@ -207,7 +218,8 @@ class _BatchedPlan:
             stack = np.stack([p[name].data for p in per_client])
             if role == BIAS:  # (B, h) → (B, 1, h) for row broadcasting
                 stack = stack[:, None, :]
-            params.append(Tensor(stack, requires_grad=True))
+            params.append(Tensor(stack, requires_grad=True,
+                                 backend=self.array_backend))
         moments_m, moments_v = [], []
         for j, (name, role) in enumerate(self.param_specs):
             m = np.stack([c.optimizer._m[j] for c in self.clients])
@@ -324,6 +336,22 @@ class _BatchedPlan:
             # Broadcast a (B,) vector over a stacked tensor of any rank.
             return values.reshape((batch,) + (1,) * (ndim - 1))
 
+        with use_backend(self.array_backend):
+            self._run_epochs(epochs, batch, stacked, moments_m, moments_v,
+                             steps, losses, per_client, max_grad_norm,
+                             lr, wd, beta1, beta2, eps)
+
+        if keep_hot:
+            self.hot = (stacked, moments_m, moments_v, steps)
+        else:
+            self._write_back(stacked, moments_m, moments_v, steps)
+            self.hot = None
+        return [float(np.mean(per_round)) for per_round in losses]
+
+    def _run_epochs(self, epochs, batch, stacked, moments_m, moments_v,
+                    steps, losses, per_client, max_grad_norm,
+                    lr, wd, beta1, beta2, eps) -> None:
+        """The fused epoch loop (runs under the plan's array backend)."""
         for _ in range(epochs):
             for param in stacked:
                 param.grad = None
@@ -373,13 +401,6 @@ class _BatchedPlan:
                 param.data = param.data - lr * (m / b1) / (
                     np.sqrt(v / b2) + eps)
 
-        if keep_hot:
-            self.hot = (stacked, moments_m, moments_v, steps)
-        else:
-            self._write_back(stacked, moments_m, moments_v, steps)
-            self.hot = None
-        return [float(np.mean(per_round)) for per_round in losses]
-
     def _write_back(self, stacked, moments_m, moments_v, steps):
         """Unstack the trained state into each client's model and optimizer."""
         for index, client in enumerate(self.clients):
@@ -411,9 +432,10 @@ class _BatchedPlan:
             for _ in range(k):
                 current = F.spmm_batched(self.propagation, current)
                 if keep_all:
-                    blocks.append(Tensor(current.data))
+                    blocks.append(Tensor(current.data,
+                                         backend=self.array_backend))
         if not keep_all:
-            blocks.append(Tensor(current.data))
+            blocks.append(Tensor(current.data, backend=self.array_backend))
         return blocks
 
     def _dropout_mask(self, width: int) -> np.ndarray:
@@ -443,7 +465,8 @@ class _BatchedPlan:
             if layer != last:
                 x = x.relu()
                 if self.dropout_p > 0.0:
-                    x = x * Tensor(self._dropout_mask(x.shape[-1]))
+                    x = x * Tensor(self._dropout_mask(x.shape[-1]),
+                                   backend=self.array_backend)
         return x
 
 
@@ -456,8 +479,9 @@ class _BatchedGCNPlan(_BatchedPlan):
         self.dropout_p = model.dropout.p
         super().__init__(clients)
         # The GCN forward back-propagates through spmm_batched; constant-hop
-        # families never need the transposed operator.
-        self.propagation_t = self.propagation.T.tocsr()
+        # families never need the transposed operator.  The shared dispatch
+        # cache makes this the same object every spmm backward would reuse.
+        self.propagation_t = cached_transpose(self.propagation)
 
     @staticmethod
     def signature(model) -> Tuple:
@@ -484,7 +508,8 @@ class _BatchedGCNPlan(_BatchedPlan):
                 hidden = hidden.relu()
                 if self.dropout_p > 0.0:
                     hidden = hidden * Tensor(
-                        self._dropout_mask(hidden.shape[-1]))
+                        self._dropout_mask(hidden.shape[-1]),
+                        backend=self.array_backend)
         return hidden
 
 
@@ -574,7 +599,7 @@ class _BatchedGPRGNNPlan(_BatchedPlan):
         self.layer_names = list(model.transform._layer_names)
         self.dropout_p = model.transform.dropout.p
         super().__init__(clients)
-        self.propagation_t = self.propagation.T.tocsr()
+        self.propagation_t = cached_transpose(self.propagation)
 
     @staticmethod
     def signature(model) -> Tuple:
@@ -682,8 +707,11 @@ class _FusedEvalPlan:
 
     def __init__(self, clients):
         self.clients = list(clients)
+        self._backend = resolve_backend(
+            getattr(clients[0], "array_backend", None))
         self.sizes, self.n_max, self.features, self.propagation = \
             _padded_batch(clients)
+        self._propagation_csr = self._backend.prepare_sparse(self.propagation)
 
     @staticmethod
     def signature(model) -> Tuple:
@@ -695,7 +723,8 @@ class _FusedEvalPlan:
         """One fused block-diagonal product over a stacked ``(B, n, f)``."""
         batch, n_max, width = block.shape
         flat = block.reshape(batch * n_max, width)
-        return (self.propagation @ flat).reshape(batch, n_max, width)
+        return self._backend.spmm(self._propagation_csr,
+                                  flat).reshape(batch, n_max, width)
 
     def _constant_blocks(self, k: int, keep_all: bool) -> List[np.ndarray]:
         """``[P̃X, …, P̃ᵏX]`` (or just ``P̃ᵏX``) — eval twin of the training

@@ -77,13 +77,15 @@ class ModelSpec:
     dropout: float = 0.5
     seed: int = 0
     k: Optional[int] = None
+    array_backend: Optional[str] = None
 
     def factory(self):
         from repro.fgl import make_model_factory
 
         return make_model_factory(self.model_name, hidden=self.hidden,
                                   dropout=self.dropout, seed=self.seed,
-                                  k=self.k)
+                                  k=self.k,
+                                  array_backend=self.array_backend)
 
 
 def _pack_rng_state(state: Dict) -> np.ndarray:
@@ -288,7 +290,8 @@ class ClientStore:
         graph = self.graph(cid)
         model = self.spec.factory()(graph)
         client = Client(cid, graph, model, lr=lr, weight_decay=weight_decay,
-                        local_epochs=local_epochs)
+                        local_epochs=local_epochs,
+                        array_backend=self.spec.array_backend)
         slot = self._mutable[cid]
         if slot[0] != 0.0:
             self._restore_mutable(client, slot)

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd import use_backend
 from repro.federated.client import Client
 from repro.federated.communication import CommunicationTracker
 from repro.federated.engine import (
@@ -123,6 +124,12 @@ class FederatedConfig:
     seed: int = 0
     eval_every: int = 1
     backend: Union[str, ExecutionBackend] = "serial"
+    #: array backend every client's local math runs under (``numpy`` — the
+    #: bitwise reference — or ``jit``); orthogonal to the execution
+    #: ``backend`` above, and applied uniformly across serial, batched,
+    #: persistent-pool and hierarchical paths.  ``None`` inherits the
+    #: process default (``REPRO_ARRAY_BACKEND``, else ``numpy``).
+    array_backend: Optional[str] = None
     num_workers: int = 0
     intra_worker: str = "auto"
     #: process-pool workers act as edge aggregators: each folds its shard's
@@ -163,13 +170,18 @@ class FederatedTrainer:
         self._rng = np.random.default_rng(self.config.seed)
         self._participation_rng = participation_rng(self.config.seed)
         self.clients: List[Client] = []
-        for index, graph in enumerate(subgraphs):
-            model = model_factory(graph)
-            client = Client(
-                client_id=index, graph=graph, model=model,
-                lr=self.config.lr, weight_decay=self.config.weight_decay,
-                local_epochs=self.config.local_epochs)
-            self.clients.append(client)
+        # Client construction runs under the configured array backend so
+        # factory-built parameters and feature tensors land on it, whatever
+        # the factory (generic factories need no backend awareness).
+        with use_backend(self.config.array_backend):
+            for index, graph in enumerate(subgraphs):
+                model = model_factory(graph)
+                client = Client(
+                    client_id=index, graph=graph, model=model,
+                    lr=self.config.lr, weight_decay=self.config.weight_decay,
+                    local_epochs=self.config.local_epochs,
+                    array_backend=self.config.array_backend)
+                self.clients.append(client)
         if not self.clients:
             raise ValueError("federated training requires at least one client")
         # All clients start from identical weights (the usual FL convention).

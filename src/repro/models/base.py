@@ -15,6 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd import Tensor
+from repro.autograd.backend import cached_transpose
 from repro.graph.normalize import normalize_adjacency
 from repro.nn import Module
 
@@ -31,7 +32,6 @@ class GraphModel(Module):
     def __init__(self):
         super().__init__()
         self._prop_cache: Dict[int, sp.csr_matrix] = {}
-        self._prop_cache_t: Dict[int, sp.csr_matrix] = {}
 
     def propagation_matrix(self, adjacency: sp.spmatrix,
                            r: float = 0.5) -> sp.csr_matrix:
@@ -51,14 +51,14 @@ class GraphModel(Module):
         it as ``adjacency_t`` replaces the per-backward CSC product with a
         cached CSR one.  Both accumulate each output row's contributions in
         ascending source-row order, so results are bitwise-unchanged.
+
+        Delegates to the dispatch layer's process-wide
+        :func:`~repro.autograd.backend.cached_transpose`, the same cache the
+        ``spmm`` backward consults when no ``adjacency_t`` is supplied — so
+        serial, batched and personalized paths all share one transpose per
+        operator object.
         """
-        key = id(adjacency)
-        if key not in self._prop_cache_t:
-            if len(self._prop_cache_t) > 8:
-                self._prop_cache_t.clear()
-            self._prop_cache_t[key] = \
-                self.propagation_matrix(adjacency, r=r).T.tocsr()
-        return self._prop_cache_t[key]
+        return cached_transpose(self.propagation_matrix(adjacency, r=r))
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         raise NotImplementedError

@@ -12,14 +12,14 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from repro.autograd import Tensor
+from repro.autograd import Tensor, resolve_backend
 
 
 class Parameter(Tensor):
     """A tensor that is registered as a trainable parameter."""
 
-    def __init__(self, data, name: Optional[str] = None):
-        super().__init__(data, requires_grad=True, name=name)
+    def __init__(self, data, name: Optional[str] = None, backend=None):
+        super().__init__(data, requires_grad=True, name=name, backend=backend)
 
 
 class Module:
@@ -69,6 +69,19 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def to_backend(self, backend) -> "Module":
+        """Move every parameter onto the given array backend (in place).
+
+        Only trainable parameters move; constant operands (propagation
+        matrices, feature arrays) are converted lazily at the dispatch seam
+        by the backend consuming them.
+        """
+        resolved = resolve_backend(backend)
+        for param in self.parameters():
+            param.backend = resolved
+            param.data = resolved.asarray(param.data)
+        return self
+
     # ------------------------------------------------------------------
     # Train / eval mode
     # ------------------------------------------------------------------
@@ -88,8 +101,9 @@ class Module:
     # State dict (numpy based, for FedAvg)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Return a flat name → numpy array copy of every parameter."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Return a flat name → host numpy array copy of every parameter."""
+        return {name: param.backend.to_host(param.data).copy()
+                for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         """Load parameter values from a flat dict produced by :meth:`state_dict`."""
@@ -101,7 +115,8 @@ class Module:
                 f"state_dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = param.backend.asarray(np.asarray(state[name],
+                                                     dtype=np.float64))
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': expected {param.data.shape}, "
