@@ -1,0 +1,229 @@
+"""Serving load harness: throughput and tail latency of the query engine.
+
+Measures the online serving subsystem the way serving systems are measured:
+open-loop Poisson arrivals at configured rates, reporting achieved
+queries/sec and p50/p99 latency across a **batch-size × arrival-rate ×
+array-backend grid**, a dedicated **inductive-query section** (fused
+batched subgraph inference, with the LRU's hit rate), and a **parity bar**
+asserting that served answers are bitwise-equal to offline
+``Client.predict`` on the numpy backend (and fused inductive answers
+bitwise-equal to per-query serial forwards).
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_serving.py            # full grid
+    PYTHONPATH=src:. python benchmarks/bench_serving.py --smoke    # CI smoke
+
+The full run writes ``benchmarks/results/BENCH_serving.json``; ``--smoke``
+writes ``BENCH_serving_smoke.json`` (restricted by ``--array-backend``
+when given).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from benchmarks.bench_utils import record_json
+from repro.autograd import list_array_backends
+from repro.datasets import load_dataset
+from repro.federated import FederatedConfig
+from repro.fgl import build_baseline
+from repro.serving import (
+    InductiveQuery,
+    QueryEngine,
+    ServingSnapshot,
+    build_query_mix,
+    run_open_loop,
+)
+from repro.simulation import community_split
+
+
+def build_serving_snapshot(num_nodes: int = 600, num_clients: int = 5,
+                           rounds: int = 3, seed: int = 0,
+                           model: str = "fedgcn"):
+    """Train a small federation and freeze it; returns (snapshot, trainer)."""
+    graph = load_dataset("cora", seed=seed, num_nodes=num_nodes)
+    subgraphs = community_split(graph, num_clients, seed=seed)
+    trainer = build_baseline(
+        model, subgraphs,
+        config=FederatedConfig(rounds=rounds, local_epochs=1, seed=seed),
+        hidden=32)
+    trainer.run()
+    return ServingSnapshot.from_trainer(trainer), trainer
+
+
+def run_rate_grid(snapshot, *, backends: Sequence[str],
+                  max_batches: Sequence[int], rates: Sequence[float],
+                  queries_per_cell: int, inductive_fraction: float = 0.0,
+                  max_delay_ms: float = 2.0, seed: int = 0) -> List[Dict]:
+    """One open-loop run per (backend, max_batch, rate) cell."""
+    points = []
+    for backend in backends:
+        for max_batch in max_batches:
+            for rate in rates:
+                queries = build_query_mix(
+                    snapshot, queries_per_cell,
+                    inductive_fraction=inductive_fraction, seed=seed)
+                with QueryEngine(snapshot, max_batch=max_batch,
+                                 max_delay_ms=max_delay_ms,
+                                 array_backend=backend) as engine:
+                    report = run_open_loop(engine, queries, rate, seed=seed)
+                    cache = engine.cache
+                point = {"backend": backend, "max_batch": max_batch,
+                         "inductive_fraction": inductive_fraction,
+                         **report.as_dict()}
+                point["cache"] = {"hits": cache.hits,
+                                  "misses": cache.misses,
+                                  "evictions": cache.evictions}
+                points.append(point)
+                print(f"  backend={backend} batch={max_batch} "
+                      f"rate={rate:.0f}: "
+                      f"{report.achieved_qps:.0f} qps, "
+                      f"p50 {report.p50_ms:.2f} ms, "
+                      f"p99 {report.p99_ms:.2f} ms")
+    return points
+
+
+def run_parity_bar(snapshot, trainer, *, probes: int = 64,
+                   seed: int = 0) -> Dict:
+    """Bitwise parity of served answers vs offline references (numpy).
+
+    * transductive: engine answers == a fresh serial ``Client.predict``
+      recomputed offline (cache invalidated first);
+    * inductive: fused batched answers == per-query serial forwards.
+    """
+    rng = np.random.default_rng(seed)
+    offline = {}
+    for client in trainer.clients:
+        client.invalidate_cache()
+        offline[client.client_id] = np.array(client.predict(), copy=True)
+
+    transductive_checked = 0
+    transductive_equal = True
+    queries = build_query_mix(snapshot, probes, inductive_fraction=0.0,
+                              seed=seed)
+    with QueryEngine(snapshot, max_batch=16, max_delay_ms=1.0,
+                     array_backend="numpy") as engine:
+        for query in queries:
+            served = engine.query(query, timeout=60)
+            expected = offline[query.client_id][query.node_id]
+            transductive_equal &= bool(
+                np.array_equal(served.probs, expected))
+            transductive_checked += 1
+
+    inductive_queries = [
+        query for query in build_query_mix(
+            snapshot, probes, inductive_fraction=1.0, seed=seed + 1)
+        if isinstance(query, InductiveQuery)]
+    with QueryEngine(snapshot, max_batch=len(inductive_queries),
+                     max_delay_ms=500.0, array_backend="numpy") as engine:
+        futures = [engine.submit(query) for query in inductive_queries]
+        fused = [future.result(timeout=60) for future in futures]
+    with QueryEngine(snapshot, max_batch=1, max_delay_ms=0.0,
+                     array_backend="numpy") as engine:
+        serial = [engine.query(query, timeout=60)
+                  for query in inductive_queries]
+    inductive_equal = all(
+        np.array_equal(fused_r.probs, serial_r.probs)
+        for fused_r, serial_r in zip(fused, serial))
+    fused_used = sum(1 for result in fused if result.path == "fused")
+    parity = {
+        "transductive_bitwise_equal": bool(transductive_equal),
+        "transductive_probes": transductive_checked,
+        "inductive_fused_equals_serial": bool(inductive_equal),
+        "inductive_probes": len(inductive_queries),
+        "inductive_fused_path_answers": fused_used,
+    }
+    print(f"  parity: transductive bitwise={transductive_equal} "
+          f"({transductive_checked} probes), "
+          f"inductive fused==serial={inductive_equal} "
+          f"({len(inductive_queries)} probes, {fused_used} fused)")
+    return parity
+
+
+def run_serving_suite(*, smoke: bool = False,
+                      array_backend: Optional[str] = None,
+                      output_name: Optional[str] = None, seed: int = 0
+                      ) -> Dict:
+    backends = [array_backend] if array_backend \
+        else [name for name in ("numpy", "jit")
+              if name in list_array_backends()]
+    if smoke:
+        num_nodes, num_clients, rounds = 300, 3, 2
+        max_batches = [1, 16]
+        transductive_rates = [2000.0]
+        inductive_rates = [300.0]
+        queries_per_cell = 150
+    else:
+        num_nodes, num_clients, rounds = 600, 5, 3
+        max_batches = [1, 8, 32]
+        transductive_rates = [1000.0, 4000.0, 16000.0]
+        inductive_rates = [100.0, 400.0, 1600.0]
+        queries_per_cell = 800
+
+    print(f"building snapshot ({num_nodes} nodes, {num_clients} clients)...")
+    snapshot, trainer = build_serving_snapshot(
+        num_nodes=num_nodes, num_clients=num_clients, rounds=rounds,
+        seed=seed)
+
+    print("transductive grid:")
+    transductive = run_rate_grid(
+        snapshot, backends=backends, max_batches=max_batches,
+        rates=transductive_rates, queries_per_cell=queries_per_cell,
+        inductive_fraction=0.0, seed=seed)
+    print("inductive grid:")
+    inductive = run_rate_grid(
+        snapshot, backends=backends, max_batches=max_batches,
+        rates=inductive_rates,
+        queries_per_cell=max(queries_per_cell // 4, 50),
+        inductive_fraction=1.0, seed=seed)
+    print("parity bar:")
+    parity = run_parity_bar(snapshot, trainer,
+                            probes=32 if smoke else 64, seed=seed)
+
+    best = max(transductive, key=lambda point: point["achieved_qps"])
+    report = {
+        "setup": {"dataset": "cora", "num_nodes": num_nodes,
+                  "num_clients": num_clients, "rounds": rounds,
+                  "model_family": snapshot.model_family,
+                  "backends": backends, "max_batches": list(max_batches),
+                  "transductive_rates": list(transductive_rates),
+                  "inductive_rates": list(inductive_rates),
+                  "queries_per_cell": queries_per_cell, "seed": seed},
+        "transductive": transductive,
+        "inductive": inductive,
+        "parity": parity,
+        "headline": {"achieved_qps": best["achieved_qps"],
+                     "p50_ms": best["p50_ms"], "p99_ms": best["p99_ms"],
+                     "backend": best["backend"],
+                     "max_batch": best["max_batch"]},
+    }
+    name = output_name or ("BENCH_serving_smoke" if smoke
+                           else "BENCH_serving")
+    record_json(name, report)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving engine qps / latency harness")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid for CI (BENCH_serving_smoke.json)")
+    parser.add_argument("--array-backend", default=None,
+                        choices=list_array_backends(),
+                        help="restrict the backend axis to one backend")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = run_serving_suite(smoke=args.smoke,
+                               array_backend=args.array_backend,
+                               seed=args.seed)
+    assert report["parity"]["transductive_bitwise_equal"]
+    assert report["parity"]["inductive_fused_equals_serial"]
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Pytest entry point for the serving harness (marker: bench).
+
+Skipped by tier-1 runs; enable with ``pytest --run-bench`` or
+``REPRO_RUN_BENCH=1``.  Runs the suite at smoke scale — the checked-in
+``BENCH_serving.json`` artifact is produced by running ``bench_serving.py``
+directly at the full grid.
+"""
+
+import pytest
+
+from benchmarks.bench_serving import run_serving_suite
+
+
+@pytest.mark.bench
+def test_serving_harness_smoke():
+    report = run_serving_suite(smoke=True, array_backend="numpy",
+                               output_name="BENCH_serving_smoke")
+    # The hard bars: served answers are bitwise-exact, both query regimes.
+    assert report["parity"]["transductive_bitwise_equal"]
+    assert report["parity"]["inductive_fused_equals_serial"]
+    assert report["parity"]["inductive_fused_path_answers"] > 0
+    assert report["headline"]["achieved_qps"] > 0
+    for point in report["transductive"] + report["inductive"]:
+        assert point["queries"] > 0
+        assert point["p50_ms"] <= point["p99_ms"]
+    # Inductive cells actually exercised the subgraph LRU.
+    assert any(point["cache"]["hits"] + point["cache"]["misses"] > 0
+               for point in report["inductive"])

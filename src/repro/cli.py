@@ -6,6 +6,7 @@ Examples::
     python -m repro.cli run --dataset cora --split structure --method adafgl
     python -m repro.cli compare --dataset citeseer --methods fedgcn fed-pub adafgl
     python -m repro.cli hcs --dataset chameleon --split structure
+    python -m repro.cli serve --dataset cora --method fedgcn --rate 2000
 """
 
 from __future__ import annotations
@@ -205,6 +206,54 @@ def cmd_hcs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Export (or load) a serving snapshot and drive it with open-loop load."""
+    from repro.serving import (
+        QueryEngine,
+        ServingSnapshot,
+        build_query_mix,
+        run_open_loop,
+    )
+
+    if args.snapshot:
+        snapshot = ServingSnapshot.load(args.snapshot)
+    else:
+        settings = _settings(args)
+        graph = load_dataset(args.dataset, seed=args.seed,
+                             num_nodes=args.nodes)
+        clients = prepare_clients(args.dataset, args.split, settings,
+                                  graph=graph, injection=args.injection)
+        summary = run_method(args.method, clients, settings)
+        trainer = summary["trainer"]
+        snapshot = ServingSnapshot.from_adafgl(trainer) \
+            if isinstance(trainer, AdaFGL) \
+            else ServingSnapshot.from_trainer(trainer)
+    if args.export:
+        snapshot.save(args.export)
+        print(f"snapshot written to {args.export}")
+    engine_kwargs = dict(max_batch=args.max_batch,
+                         max_delay_ms=args.max_delay_ms,
+                         cache_size=args.cache_size)
+    if getattr(args, "array_backend", None) is not None:
+        engine_kwargs["array_backend"] = args.array_backend
+    with QueryEngine(snapshot, **engine_kwargs) as engine:
+        queries = build_query_mix(
+            snapshot, args.queries,
+            inductive_fraction=args.inductive_frac, seed=args.seed)
+        report = run_open_loop(engine, queries, args.rate, seed=args.seed)
+        backend = engine.array_backend
+    print(format_table(
+        ["family", "backend", "max batch", "offered qps", "achieved qps",
+         "p50 ms", "p99 ms", "mean batch"],
+        [[snapshot.model_family, backend, args.max_batch,
+          f"{report.offered_qps:.0f}", f"{report.achieved_qps:.0f}",
+          f"{report.p50_ms:.2f}", f"{report.p99_ms:.2f}",
+          f"{report.mean_batch:.1f}"]],
+        title=f"serving {snapshot.num_clients} clients "
+              f"({report.queries} queries, source: {snapshot.source})"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AdaFGL reproduction command-line interface")
@@ -233,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
         "hcs", help="report per-client Homophily Confidence Scores")
     _add_common(p_hcs)
     p_hcs.set_defaults(func=cmd_hcs)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="freeze a serving snapshot and measure qps / latency")
+    _add_common(p_serve)
+    p_serve.add_argument("--method", default="fedgcn",
+                         choices=available_methods())
+    p_serve.add_argument("--snapshot", default=None,
+                         help="serve a previously exported snapshot file "
+                              "instead of training one")
+    p_serve.add_argument("--export", default=None,
+                         help="write the snapshot to this path before "
+                              "serving")
+    p_serve.add_argument("--queries", type=int, default=2000,
+                         help="number of queries the load run submits")
+    p_serve.add_argument("--rate", type=float, default=1000.0,
+                         help="open-loop Poisson arrival rate (queries/sec)")
+    p_serve.add_argument("--inductive-frac", type=float, default=0.0,
+                         help="fraction of queries that present a new node "
+                              "(requires an inductive-capable snapshot)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="micro-batch flush size")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch flush deadline in milliseconds")
+    p_serve.add_argument("--cache-size", type=int, default=128,
+                         help="LRU capacity over extracted subgraph blocks")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -82,6 +82,21 @@ class Client:
         self.model.load_state_dict(state)
         self._weights_version += 1
 
+    def load_state(self, snapshot: Dict) -> None:
+        """Restore a :func:`~repro.federated.engine.backends.
+        snapshot_client_state` payload (weights, optimizer moments, RNG
+        streams) through the client API.
+
+        This is the supported way to rehydrate a client from a checkpoint
+        or serving snapshot outside a trainer: unlike poking
+        ``model.load_state_dict`` directly, it also drops the prediction
+        cache, so a stale pre-restore :meth:`predict` result can never be
+        served against the restored weights.
+        """
+        from repro.federated.engine.backends import restore_client_state
+
+        restore_client_state(self, snapshot, include_weights=True)
+
     # ------------------------------------------------------------------
     # Local training / inference
     # ------------------------------------------------------------------

@@ -110,6 +110,12 @@ def restore_client_state(client, snapshot: Dict,
     client.optimizer.__dict__.update(snapshot["optimizer"])
     for rng, state in zip(_module_rngs(client.model), snapshot["rng_states"]):
         rng.bit_generator.state = state
+    # A restore is an out-of-band mutation as far as the prediction cache is
+    # concerned: callers may have written parameters around ``set_weights``
+    # (pool rehydration, checkpoint/snapshot loads), and even the
+    # ``include_weights=False`` path can follow direct model pokes.  Always
+    # drop the cache instead of trusting the version key.
+    client.invalidate_cache()
 
 
 def _states_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:

@@ -49,7 +49,8 @@ broadcasts evaluate through one fused sweep instead of per-client forwards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+import logging
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -73,6 +74,12 @@ from repro.models.gprgnn import GPRGNN
 from repro.optim import Adam
 
 StateDict = Dict[str, np.ndarray]
+
+logger = logging.getLogger(__name__)
+
+#: model families already warned about missing a fused eval plan (one
+#: warning per family per process, not one per evaluation tick).
+_WARNED_EVAL_FAMILIES: Set[str] = set()
 
 #: parameter stacking roles: how one client's array lives in the (B, ...)
 #: stack.  "matrix" → stacked as-is and used in batched matmuls;
@@ -890,6 +897,14 @@ def build_eval_plan(clients) -> Optional[_FusedEvalPlan]:
             plan_cls = candidate
             break
     if plan_cls is None:
+        family = type(reference.model).__name__
+        if family not in _WARNED_EVAL_FAMILIES:
+            _WARNED_EVAL_FAMILIES.add(family)
+            logger.warning(
+                "no fused eval plan for model family %s: evaluation and "
+                "serving fall back to one serial forward per client "
+                "(fused families: %s)", family,
+                ", ".join(model.__name__ for model, _ in EVAL_FAMILIES))
         return None
     shapes = {name: p.shape
               for name, p in reference.model.named_parameters()}

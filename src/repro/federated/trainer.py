@@ -73,6 +73,29 @@ def select_participant_ids(rng: np.random.Generator, total: int,
     return sorted(int(index) for index in chosen)
 
 
+def resolve_checkpoint_path(spec: str,
+                            checkpoint_dir: str = "checkpoints") -> str:
+    """Resolve a checkpoint spec to a concrete file path.
+
+    ``"latest"`` names the ``latest.ckpt`` pointer :meth:`FederatedTrainer.
+    save_checkpoint` refreshes on every write, resolved inside
+    ``checkpoint_dir``; anything else is returned verbatim.  Trainer resume
+    (``resume_from="latest"``) and serving-snapshot export
+    (:meth:`repro.serving.ServingSnapshot.from_checkpoint`) share this one
+    helper so their notion of "the newest checkpoint" can never drift.
+    """
+    import os
+
+    if spec == "latest":
+        path = os.path.join(checkpoint_dir, "latest.ckpt")
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"resume_from='latest' but '{checkpoint_dir}' has no "
+                f"latest.ckpt — no checkpoint was ever written there")
+        return path
+    return spec
+
+
 @dataclass
 class FederatedConfig:
     """Hyperparameters of federated collaborative training.
@@ -443,14 +466,17 @@ class FederatedTrainer:
     def load_checkpoint(self, path: str) -> int:
         """Restore a :meth:`save_checkpoint` file; returns its round index.
 
-        The next :meth:`run` continues from the checkpointed round — on the
-        serial and sync-pipeline paths bitwise-identically to the run that
-        was interrupted.
+        ``path="latest"`` resolves to ``latest.ckpt`` in the configured
+        ``checkpoint_dir`` (see :func:`resolve_checkpoint_path`).  The next
+        :meth:`run` continues from the checkpointed round — on the serial
+        and sync-pipeline paths bitwise-identically to the run that was
+        interrupted.
         """
         import pickle
 
         from repro.federated.engine.backends import restore_client_state
 
+        path = resolve_checkpoint_path(path, self.config.checkpoint_dir)
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         version = payload.get("format")

@@ -1,0 +1,375 @@
+"""Micro-batched query engine over a frozen :class:`ServingSnapshot`.
+
+Queries enter an admission queue and a single worker thread drains it with
+**adaptive micro-batching**: a batch flushes when it reaches ``max_batch``
+queries or when ``max_delay_ms`` has elapsed since its first query was
+admitted, whichever comes first (plus a final flush on ``close``).  Under
+backlog the worker drains whatever is already queued without waiting, so
+batches fill up exactly when batching pays.
+
+Routing inside a flush:
+
+* **transductive** queries read the snapshot's precomputed probability
+  table — an O(1) array lookup, no model math on the hot path;
+* **inductive** (new-node) queries extract the anchor set's receptive-field
+  block (:mod:`repro.serving.subgraph`), append the query's feature row, and
+  run the frozen client model over the augmented subgraph.  Two or more
+  inductive queries in one flush ride the **fused batched plan path**
+  (:func:`~repro.federated.engine.batched.build_eval_plan` over per-query
+  pseudo-clients — one block-diagonal sparse propagation for the whole
+  flush); a lone query runs the serial forward.  Both paths evaluate the
+  same tensor expressions, so fused and serial answers are bitwise equal.
+
+Extracted blocks are structure-only and cached in a deterministic LRU keyed
+by ``(client_id, anchors)``; the ``array_backend`` knob (numpy / jit)
+selects the kernel set every forward runs under.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F, no_grad, resolve_backend, use_backend
+from repro.serving.snapshot import ServingSnapshot
+from repro.serving.subgraph import SubgraphBlock, extract_block, receptive_depth
+
+
+@dataclass(frozen=True)
+class TransductiveQuery:
+    """Predict a node the snapshot has already seen."""
+
+    client_id: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class InductiveQuery:
+    """Predict a new node attaching to ``anchors`` of a client's graph."""
+
+    client_id: int
+    features: np.ndarray
+    anchors: Tuple[int, ...]
+
+    def __init__(self, client_id: int, features: np.ndarray,
+                 anchors: Sequence[int]):
+        object.__setattr__(self, "client_id", int(client_id))
+        object.__setattr__(self, "features",
+                           np.asarray(features, dtype=np.float64))
+        object.__setattr__(self, "anchors",
+                           tuple(int(a) for a in anchors))
+
+
+Query = Union[TransductiveQuery, InductiveQuery]
+
+
+@dataclass
+class QueryResult:
+    """One served prediction plus how it was produced."""
+
+    probs: np.ndarray
+    label: int
+    #: "table" (transductive O(1) read), "fused" (batched inductive plan)
+    #: or "serial" (single inductive forward).
+    path: str
+    batch_size: int
+    trigger: str
+    arrival: float
+    completed: float
+
+    @property
+    def latency(self) -> float:
+        """Seconds from admission to completion (queueing + compute)."""
+        return self.completed - self.arrival
+
+
+class SubgraphLRU:
+    """Deterministic LRU over extracted subgraph blocks.
+
+    Eviction order is pure access order (an :class:`OrderedDict`), so a
+    replayed query sequence always evicts the same keys — asserted by the
+    serving tests.  Hit/miss/eviction counters are exposed for the bench
+    harness.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._blocks: "OrderedDict[Tuple, SubgraphBlock]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple, build: Callable[[], SubgraphBlock]
+            ) -> SubgraphBlock:
+        block = self._blocks.get(key)
+        if block is not None:
+            self.hits += 1
+            self._blocks.move_to_end(key)
+            return block
+        self.misses += 1
+        block = build()
+        self._blocks[key] = block
+        if len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+        return block
+
+    def keys(self) -> List[Tuple]:
+        """Current keys, least- to most-recently used."""
+        return list(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+@dataclass
+class _Pending:
+    query: Query
+    future: Future = field(default_factory=Future)
+    arrival: float = field(default_factory=time.perf_counter)
+
+
+_CLOSE = object()
+
+
+class QueryEngine:
+    """Admission queue + micro-batching worker over a frozen snapshot."""
+
+    def __init__(self, snapshot: ServingSnapshot, *, max_batch: int = 32,
+                 max_delay_ms: float = 2.0,
+                 array_backend: Optional[str] = None,
+                 cache_size: int = 128):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.snapshot = snapshot
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1000.0
+        self._backend = resolve_backend(
+            array_backend if array_backend is not None
+            else snapshot.array_backend)
+        self.cache = SubgraphLRU(cache_size)
+        self.batch_log: List[Dict] = []
+        self.served = 0
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop,
+                                        name="repro-serving-worker",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def array_backend(self) -> str:
+        return self._backend.name
+
+    def submit(self, query: Query) -> Future:
+        """Admit one query; resolves to a :class:`QueryResult`."""
+        if self._closed:
+            raise RuntimeError("QueryEngine is closed")
+        pending = _Pending(query)
+        self._queue.put(pending)
+        return pending.future
+
+    def query(self, query: Query, timeout: Optional[float] = 60.0
+              ) -> QueryResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Flush the queue and stop the worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_CLOSE)
+        self._worker.join()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker loop: adaptive micro-batching
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _CLOSE:
+                return
+            batch = [first]
+            trigger = "size"
+            deadline = first.arrival + self.max_delay
+            closing = False
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        trigger = "deadline"
+                        break
+                    try:
+                        item = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        trigger = "deadline"
+                        break
+                if item is _CLOSE:
+                    trigger = "close"
+                    closing = True
+                    break
+                batch.append(item)
+            self._execute(batch, trigger)
+            if closing:
+                return
+
+    def _execute(self, batch: List[_Pending], trigger: str) -> None:
+        self.batch_log.append({"size": len(batch), "trigger": trigger})
+        try:
+            self._answer(batch, trigger)
+        except BaseException as error:   # defensive: never wedge callers
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _answer(self, batch: List[_Pending], trigger: str) -> None:
+        inductive = [item for item in batch
+                     if isinstance(item.query, InductiveQuery)]
+        for item in batch:
+            if isinstance(item.query, TransductiveQuery):
+                self._finish_transductive(item, len(batch), trigger)
+        if not inductive:
+            return
+        with use_backend(self._backend):
+            if len(inductive) >= 2:
+                fused = self._fused_inductive(inductive)
+                if fused is not None:
+                    for item, probs in zip(inductive, fused):
+                        self._finish(item, probs, "fused", len(batch),
+                                     trigger)
+                    return
+            for item in inductive:
+                try:
+                    probs = self._serial_inductive(item.query)
+                except Exception as error:
+                    item.future.set_exception(error)
+                else:
+                    self._finish(item, probs, "serial", len(batch), trigger)
+
+    def _finish_transductive(self, item: _Pending, batch_size: int,
+                             trigger: str) -> None:
+        try:
+            probs = self.snapshot.transductive(item.query.client_id,
+                                               item.query.node_id)
+        except Exception as error:
+            item.future.set_exception(error)
+        else:
+            self._finish(item, probs, "table", batch_size, trigger)
+
+    def _finish(self, item: _Pending, probs: np.ndarray, path: str,
+                batch_size: int, trigger: str) -> None:
+        self.served += 1
+        item.future.set_result(QueryResult(
+            probs=probs, label=int(np.argmax(probs)), path=path,
+            batch_size=batch_size, trigger=trigger, arrival=item.arrival,
+            completed=time.perf_counter()))
+
+    # ------------------------------------------------------------------
+    # Inductive paths
+    # ------------------------------------------------------------------
+    def _entry_model(self, client_id: int):
+        entry = self.snapshot.entry(client_id)
+        if entry.model is None:
+            raise ValueError(
+                f"snapshot entry {client_id} is transductive-only "
+                f"(family {self.snapshot.model_family}): inductive "
+                f"queries are unsupported")
+        return entry
+
+    def _block(self, query: InductiveQuery) -> SubgraphBlock:
+        entry = self._entry_model(query.client_id)
+        depth = receptive_depth(entry.model)
+        key = (query.client_id, tuple(sorted(set(query.anchors))))
+        return self.cache.get(
+            key, lambda: extract_block(entry.graph, query.anchors, depth))
+
+    def _augmented_features(self, query: InductiveQuery,
+                            block: SubgraphBlock) -> np.ndarray:
+        features = query.features.reshape(1, -1)
+        if features.shape[1] != block.features.shape[1]:
+            raise ValueError(
+                f"inductive query carries {features.shape[1]} features, "
+                f"client graph has {block.features.shape[1]}")
+        return np.concatenate([block.features, features], axis=0)
+
+    def _fused_inductive(self, items: List[_Pending]
+                         ) -> Optional[List[np.ndarray]]:
+        """All inductive answers of one flush via a single fused plan.
+
+        Every query becomes a pseudo-client whose "graph" is its augmented
+        receptive-field block; :func:`build_eval_plan` stacks them into one
+        block-diagonal propagation, exactly like federated evaluation
+        stacks real clients.  Block rows are independent, so the fused
+        answers are bitwise-equal to the per-query serial forward.
+        Returns ``None`` (caller falls back to serial) when the family has
+        no eval plan or any query is malformed.
+        """
+        from repro.federated.engine.batched import (
+            _softmax_rows,
+            build_eval_plan,
+        )
+
+        try:
+            blocks = [self._block(item.query) for item in items]
+            pseudo = []
+            states = []
+            for item, block in zip(items, blocks):
+                entry = self.snapshot.entry(item.query.client_id)
+                augmented = self._augmented_features(item.query, block)
+                pseudo.append(SimpleNamespace(
+                    graph=SimpleNamespace(
+                        num_nodes=block.new_index + 1,
+                        num_features=augmented.shape[1],
+                        features=augmented,
+                        adjacency=block.adjacency),
+                    model=entry.model,
+                    array_backend=self._backend.name))
+                states.append(entry.state)
+        except Exception:
+            return None   # per-query validation errors surface serially
+        plan = build_eval_plan(pseudo)
+        if plan is None:
+            return None
+        probs = _softmax_rows(plan._logits(states))
+        return [np.array(probs[index, block.new_index], copy=True)
+                for index, block in enumerate(blocks)]
+
+    def _serial_inductive(self, query: InductiveQuery) -> np.ndarray:
+        """Reference single-query forward over the augmented block."""
+        entry = self._entry_model(query.client_id)
+        block = self._block(query)
+        augmented = self._augmented_features(query, block)
+        model = entry.model
+        model.eval()
+        with no_grad():
+            logits = model(Tensor(augmented, backend=self._backend),
+                           block.adjacency)
+            probs = F.softmax(logits, axis=-1).numpy()
+        return np.array(probs[block.new_index], copy=True)

@@ -1,0 +1,118 @@
+"""k-hop receptive-field extraction for inductive serving queries.
+
+An inductive query presents a node the snapshot has never seen: a feature
+vector plus the ids of the existing local nodes it attaches to (its
+*anchors*).  Answering it only needs the new node's receptive field — the
+anchors and ``depth - 1`` hops around them, since the new node itself sits
+one hop from its anchors — so the engine extracts that induced subgraph,
+appends the new node last with symmetric unit edges to each anchor, and runs
+the frozen model over the augmented block.  The model's own
+``prepare_propagation`` then renormalizes the augmented adjacency, exactly
+as it would for any client subgraph: an inductive answer is *defined* as
+the model's forward over the extracted augmented subgraph, consistent with
+the repo-wide convention that every client already computes on an induced
+subgraph of some larger graph.
+
+Extraction is structure-only (node set, augmented adjacency, base feature
+slice); the query's feature vector is appended per query, so one extracted
+block serves every query sharing ``(client, anchors)`` — that is what the
+engine's LRU caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.models.gamlp import GAMLP
+from repro.models.gcn import GCN, SGC
+from repro.models.gcnii import GCNII
+from repro.models.ggcn import GGCN
+from repro.models.gprgnn import GPRGNN
+
+
+def receptive_depth(model) -> Optional[int]:
+    """How many hops of structure one node's prediction can see.
+
+    ``None`` means unbounded/unknown (e.g. GloGNN's global low-rank
+    aggregation attends over every node pair): callers must keep the whole
+    client graph.
+    """
+    if isinstance(model, (SGC, GAMLP, GPRGNN)):
+        return int(model.k)
+    if isinstance(model, (GCN, GGCN)):
+        return len(model._layer_names)
+    if isinstance(model, GCNII):
+        return int(model.num_layers)
+    return None
+
+
+def khop_nodes(adjacency, seeds: Sequence[int], depth: int) -> np.ndarray:
+    """Sorted node ids within ``depth`` hops of ``seeds`` (seeds included)."""
+    adjacency = sp.csr_matrix(adjacency)
+    visited = np.unique(np.asarray(seeds, dtype=np.int64))
+    frontier = visited
+    for _ in range(int(depth)):
+        if frontier.size == 0:
+            break
+        neighbours = adjacency[frontier].indices
+        fresh = np.setdiff1d(neighbours, visited)
+        if fresh.size == 0:
+            break
+        visited = np.union1d(visited, fresh)
+        frontier = fresh
+    return visited
+
+
+@dataclass(frozen=True)
+class SubgraphBlock:
+    """Structure-only extraction for one ``(client, anchors)`` pair.
+
+    ``nodes`` are the base-graph ids inside the receptive field (sorted
+    ascending); ``adjacency`` is the augmented CSR over ``len(nodes) + 1``
+    nodes with the new node appended at position ``new_index == len(nodes)``
+    and linked to each anchor in both directions; ``features`` is the base
+    feature slice for ``nodes`` (the new node's row is appended per query).
+    """
+
+    nodes: np.ndarray
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    new_index: int
+
+
+def extract_block(graph, anchors: Sequence[int],
+                  depth: Optional[int]) -> SubgraphBlock:
+    """Extract the augmented receptive-field block for one anchor set.
+
+    ``depth`` is the model's receptive depth (``None`` keeps the whole
+    graph); the block spans ``depth - 1`` hops around the anchors because
+    the new node adds the remaining hop.
+    """
+    anchors = np.unique(np.asarray(anchors, dtype=np.int64))
+    if anchors.size == 0:
+        raise ValueError("an inductive query needs at least one anchor node")
+    if anchors[0] < 0 or anchors[-1] >= graph.num_nodes:
+        raise ValueError(
+            f"anchor ids {anchors.tolist()} out of range for a graph of "
+            f"{graph.num_nodes} nodes")
+    if depth is None:
+        nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        nodes = khop_nodes(graph.adjacency, anchors, max(int(depth) - 1, 0))
+    base = sp.csr_matrix(graph.adjacency)[nodes][:, nodes].tocoo()
+    size = int(nodes.size)
+    anchor_positions = np.searchsorted(nodes, anchors)
+    rows = np.concatenate([base.row, anchor_positions,
+                           np.full(anchors.size, size, dtype=np.int64)])
+    cols = np.concatenate([base.col,
+                           np.full(anchors.size, size, dtype=np.int64),
+                           anchor_positions])
+    data = np.concatenate([base.data, np.ones(2 * anchors.size)])
+    adjacency = sp.csr_matrix((data, (rows, cols)), shape=(size + 1, size + 1))
+    features = np.asarray(graph.features)[nodes]
+    return SubgraphBlock(nodes=nodes, adjacency=adjacency,
+                         features=features, new_index=size)

@@ -33,6 +33,13 @@ class TestParser:
             ["compare", "--methods", "fedgcn", "adafgl"])
         assert args.methods == ["fedgcn", "adafgl"]
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.method == "fedgcn"
+        assert args.max_batch == 32
+        assert args.max_delay_ms == 2.0
+        assert args.snapshot is None
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -68,3 +75,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "HCS" in out
         assert "overall test accuracy" in out
+
+    def test_serve_command_trains_exports_and_reloads(self, capsys,
+                                                      tmp_path):
+        snapshot_path = str(tmp_path / "snap.pkl")
+        code = main(["serve", "--method", "fedgcn", "--dataset", "cora",
+                     "--queries", "120", "--rate", "3000",
+                     "--inductive-frac", "0.1", "--max-batch", "8",
+                     "--export", snapshot_path] + FAST_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out and "achieved qps" in out
+        # Second run serves the exported snapshot without retraining.
+        code = main(["serve", "--snapshot", snapshot_path,
+                     "--queries", "60", "--rate", "3000"] + FAST_ARGS)
+        assert code == 0
+        assert "source: trainer" in capsys.readouterr().out
