@@ -1,0 +1,38 @@
+"""Pytest entry point for the transport harness (marker: bench).
+
+Skipped by tier-1 runs; enable with ``pytest --run-bench`` or
+``REPRO_RUN_BENCH=1``.  Runs the suite at smoke scale — the checked-in
+``BENCH_transport.json`` artifact is produced by running
+``bench_transport.py`` directly at the full grid.
+"""
+
+import pytest
+
+from benchmarks.bench_transport import run_transport_suite
+
+
+@pytest.mark.bench
+def test_transport_harness_smoke():
+    report = run_transport_suite(smoke=True,
+                                 output_name="BENCH_transport_smoke")
+    # The hard bar: tcp reproduces pipe bitwise on localhost.
+    assert report["transport_parity"]["bitwise_equal"]
+    assert report["transport_parity"]["tcp"]["wire"]["frames_sent"] > 0
+    sweep = report["wan_codec_sweep"]
+    assert len(sweep) == 4      # 2 links x 2 codecs
+    for point in sweep:
+        assert point["rounds_per_sec"] > 0
+        assert point["uploaded_floats"] > 0
+    # Lossless cells reproduce the reference history on every link.
+    for point in sweep:
+        if point["codec"] == "bitdelta":
+            assert point["bitwise_vs_reference"]
+    # The quantised codec uploads strictly fewer floats than bitdelta.
+    by_codec = {(point["link"], point["codec"]): point for point in sweep}
+    for link in ("loopback", "wan"):
+        assert by_codec[(link, "qtopk")]["uploaded_floats"] < \
+            by_codec[(link, "bitdelta")]["uploaded_floats"]
+    # Every cell ran over the real framed channel with a clean wire.
+    for point in sweep:
+        assert point["wire"]["frames_sent"] > 0
+        assert point["wire"]["crc_failures"] == 0

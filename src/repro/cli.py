@@ -60,6 +60,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.delta_top_k = args.delta_top_k
     if getattr(args, "delta_bits", None) is not None:
         settings.delta_bits = args.delta_bits
+    if getattr(args, "transport", None) is not None:
+        settings.transport = args.transport
     if getattr(args, "on_worker_failure", None) is not None:
         settings.on_worker_failure = args.on_worker_failure
     if getattr(args, "round_timeout", None) is not None:
@@ -133,6 +135,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--delta-bits", type=int, default=None,
                         help="bits per transported delta value with "
                              "--delta-codec qtopk")
+    parser.add_argument("--transport", default=None,
+                        choices=["pipe", "tcp"],
+                        help="coordinator-worker channel of the process "
+                             "pool: pipe (in-host, the parity reference) or "
+                             "tcp framed sockets with CRC, heartbeats and "
+                             "reconnect (default: REPRO_TRANSPORT or pipe)")
     parser.add_argument("--on-worker-failure", default=None,
                         choices=["fail", "restart", "redistribute"],
                         help="process-pool crash policy: abort the run, "
@@ -233,7 +241,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"snapshot written to {args.export}")
     engine_kwargs = dict(max_batch=args.max_batch,
                          max_delay_ms=args.max_delay_ms,
-                         cache_size=args.cache_size)
+                         cache_size=args.cache_size,
+                         max_queue=args.max_queue)
     if getattr(args, "array_backend", None) is not None:
         engine_kwargs["array_backend"] = args.array_backend
     with QueryEngine(snapshot, **engine_kwargs) as engine:
@@ -244,13 +253,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend = engine.array_backend
     print(format_table(
         ["family", "backend", "max batch", "offered qps", "achieved qps",
-         "p50 ms", "p99 ms", "mean batch"],
+         "p50 ms", "p99 ms", "mean batch", "rejected"],
         [[snapshot.model_family, backend, args.max_batch,
           f"{report.offered_qps:.0f}", f"{report.achieved_qps:.0f}",
           f"{report.p50_ms:.2f}", f"{report.p99_ms:.2f}",
-          f"{report.mean_batch:.1f}"]],
+          f"{report.mean_batch:.1f}", report.rejected]],
         title=f"serving {snapshot.num_clients} clients "
               f"({report.queries} queries, source: {snapshot.source})"))
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one federation worker that dials a TCP coordinator.
+
+    The remote half of ``--transport tcp`` with ``mode="external"``: the
+    coordinator listens, this process dials ``--connect host:port``,
+    identifies itself as worker ``--worker-id`` and then serves the
+    standard command loop until the coordinator closes the channel (crash
+    supervision, reconnect and session resume all behave exactly as for
+    locally spawned workers).
+    """
+    from repro.federated.engine.transport import run_tcp_worker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    run_tcp_worker((host, int(port)), args.worker_id, token=args.token)
     return 0
 
 
@@ -307,7 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batch flush deadline in milliseconds")
     p_serve.add_argument("--cache-size", type=int, default=128,
                          help="LRU capacity over extracted subgraph blocks")
+    p_serve.add_argument("--max-queue", type=int, default=0,
+                         help="admission-queue bound: submissions beyond "
+                              "this many waiting queries fast-fail instead "
+                              "of growing latency (0 = unbounded)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_worker = subparsers.add_parser(
+        "worker", help="run one TCP federation worker (dials a coordinator)")
+    p_worker.add_argument("--connect", required=True,
+                          help="coordinator listener address as HOST:PORT")
+    p_worker.add_argument("--worker-id", type=int, required=True,
+                          help="worker slot this process serves (matches "
+                               "the coordinator's worker indices)")
+    p_worker.add_argument("--token", default="",
+                          help="shared secret the coordinator requires at "
+                               "the HELLO handshake (if any)")
+    p_worker.set_defaults(func=cmd_worker)
 
     return parser
 

@@ -102,6 +102,11 @@ class AdaFGLConfig:
     delta_top_k: int = 32
     delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
+    #: coordinator↔worker channel of the pool both steps share: ``"pipe"``
+    #: (default) or ``"tcp"`` (framed sockets with CRC/heartbeats/reconnect;
+    #: ``transport_options`` carries the TCP knobs / WAN link spec).
+    transport: str = "pipe"
+    transport_options: Optional[Dict] = None
 
     # Fault tolerance (see FederatedConfig / the README's fault-tolerance
     # section): crash policy, round deadline, checkpoint cadence/location,
@@ -148,6 +153,8 @@ class AdaFGLConfig:
             staleness_cap=self.staleness_cap, delta_codec=self.delta_codec,
             delta_top_k=self.delta_top_k, delta_bits=self.delta_bits,
             worker_speeds=self.worker_speeds,
+            transport=self.transport,
+            transport_options=self.transport_options,
             on_worker_failure=self.on_worker_failure,
             round_timeout=self.round_timeout,
             checkpoint_every=self.checkpoint_every,

@@ -72,6 +72,10 @@ class ExperimentSettings:
     delta_codec: str = "bitdelta"
     delta_top_k: int = 32
     delta_bits: int = 8
+    #: coordinator↔worker channel ("pipe" or "tcp" framed sockets with
+    #: CRC/heartbeats/reconnect); overridable via ``REPRO_TRANSPORT``.
+    transport: str = field(
+        default_factory=lambda: os.environ.get("REPRO_TRANSPORT", "pipe"))
     #: array backend for every client's local math ("numpy" — the bitwise
     #: reference — or "jit"); None inherits the process default
     #: (``REPRO_ARRAY_BACKEND``, else numpy).
@@ -103,6 +107,7 @@ class ExperimentSettings:
                                delta_codec=self.delta_codec,
                                delta_top_k=self.delta_top_k,
                                delta_bits=self.delta_bits,
+                               transport=self.transport,
                                on_worker_failure=self.on_worker_failure,
                                round_timeout=self.round_timeout,
                                checkpoint_every=self.checkpoint_every,
@@ -137,6 +142,7 @@ class ExperimentSettings:
                               delta_codec=self.delta_codec,
                               delta_top_k=self.delta_top_k,
                               delta_bits=self.delta_bits,
+                              transport=self.transport,
                               on_worker_failure=self.on_worker_failure,
                               round_timeout=self.round_timeout,
                               checkpoint_every=self.checkpoint_every,

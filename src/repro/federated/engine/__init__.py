@@ -56,11 +56,14 @@ from repro.federated.engine.clientstore import (
     StoreFederatedTrainer,
 )
 from repro.federated.engine.faults import (
+    DOWNLINK_KINDS,
+    NETWORK_KINDS,
     FaultEvent,
     FaultPlan,
     payload_checksum,
 )
 from repro.federated.engine.persistent import (
+    BroadcastCorrupted,
     PersistentWorkerPool,
     WorkerCrash,
     WorkerError,
@@ -76,6 +79,17 @@ from repro.federated.engine.pipeline import (
     AsyncRoundLoop,
     SyncPipelinedLoop,
     resolve_round_loop,
+)
+from repro.federated.engine.transport import (
+    TRANSPORTS,
+    PipeTransport,
+    TcpTransport,
+    TransportKnobs,
+    WanLink,
+    WanModel,
+    WorkerTransport,
+    make_transport,
+    run_tcp_worker,
 )
 
 __all__ = [
@@ -107,9 +121,12 @@ __all__ = [
     "register_backend",
     "snapshot_client_state",
     "restore_client_state",
+    "DOWNLINK_KINDS",
+    "NETWORK_KINDS",
     "FaultEvent",
     "FaultPlan",
     "payload_checksum",
+    "BroadcastCorrupted",
     "PersistentWorkerPool",
     "WorkerCrash",
     "WorkerError",
@@ -125,4 +142,13 @@ __all__ = [
     "AsyncRoundLoop",
     "SyncPipelinedLoop",
     "resolve_round_loop",
+    "TRANSPORTS",
+    "PipeTransport",
+    "TcpTransport",
+    "TransportKnobs",
+    "WanLink",
+    "WanModel",
+    "WorkerTransport",
+    "make_transport",
+    "run_tcp_worker",
 ]

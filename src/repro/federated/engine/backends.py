@@ -35,6 +35,8 @@ import numpy as np
 
 from repro.federated.communication import CommunicationTracker
 from repro.federated.engine.faults import (
+    DOWNLINK_KINDS,
+    NETWORK_KINDS,
     TRANSPORT_KINDS,
     WORKER_KINDS,
     FaultPlan,
@@ -44,6 +46,7 @@ from repro.federated.engine.persistent import (
     FOLD_MARKER,
     STACK_MARKER,
     TOPK_MARKER,
+    BroadcastCorrupted,
     PersistentWorkerPool,
     WorkerCrash,
     WorkerError,
@@ -52,6 +55,7 @@ from repro.federated.engine.persistent import (
     apply_topk_delta,
     encode_state_delta,
 )
+from repro.federated.engine.transport import TRANSPORTS, make_transport
 
 
 # ----------------------------------------------------------------------
@@ -290,7 +294,9 @@ class ProcessPoolBackend(ExecutionBackend):
                  on_worker_failure: str = "fail",
                  round_timeout: Optional[float] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 hierarchical: bool = False, **_unused):
+                 hierarchical: bool = False,
+                 transport: str = "pipe",
+                 transport_options: Optional[Dict] = None, **_unused):
         if intra_worker not in ("auto", "batched", "serial"):
             raise ValueError(
                 "intra_worker must be 'auto', 'batched' or 'serial', "
@@ -318,6 +324,18 @@ class ProcessPoolBackend(ExecutionBackend):
                 "hierarchical=True requires delta_codec='bitdelta': lossy "
                 "codecs cannot carry the exact fixed-point edge aggregates "
                 f"(got {delta_codec!r})")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {', '.join(TRANSPORTS)}, "
+                f"got {transport!r}")
+        if fault_plan is not None and transport != "tcp":
+            network = sorted(set(fault_plan.scheduled_kinds())
+                             & set(NETWORK_KINDS))
+            if network:
+                raise ValueError(
+                    f"fault plan schedules network events {network} but "
+                    f"transport={transport!r} has no wire to disturb; "
+                    "network fault kinds require transport='tcp'")
         self.num_workers = num_workers
         #: edge-aggregation mode: workers fold their shard's trained states
         #: locally and ship one (weighted-sum, weight) partial per shard
@@ -330,12 +348,19 @@ class ProcessPoolBackend(ExecutionBackend):
         self.on_worker_failure = on_worker_failure
         self.round_timeout = round_timeout
         self.fault_plan = fault_plan
+        #: transport selection for the worker channels ("pipe" or "tcp");
+        #: options are forwarded to the transport factory (TCP knobs, WAN
+        #: model spec) — see :func:`~repro.federated.engine.transport
+        #: .make_transport`
+        self.transport_name = transport
+        self.transport_options = dict(transport_options or {})
         #: counters of every supervised failure/recovery event this backend
         #: has seen (crashes, restarts, redistributed clients, timed-out
         #: shards, corrupted-payload retries, dropped client reports)
         self.fault_stats: Dict[str, int] = {
             "crashes": 0, "restarts": 0, "redistributed_clients": 0,
-            "timeouts": 0, "retries": 0, "dropped_reports": 0}
+            "timeouts": 0, "retries": 0, "dropped_reports": 0,
+            "broadcast_retries": 0, "network_faults": 0}
         self.transport = CommunicationTracker()
         #: cumulative worker-reported busy seconds (training + simulated
         #: slowdown), indexed by worker — the utilization metric's numerator
@@ -354,6 +379,10 @@ class ProcessPoolBackend(ExecutionBackend):
         #: worker → FIFO of transport-fault event lists, one entry per
         #: expected train reply (aligned with ``PendingRound.groups``)
         self._transit: Dict[int, List[List]] = {}
+        #: worker → FIFO of ``[checksum, clean train args, retried]``
+        #: entries, aligned with ``pending.groups`` — the downlink-recovery
+        #: cache a checksum-rejecting worker is re-served from
+        self._sent_payloads: Dict[int, List[List]] = {}
         #: worker → count of stale (timed-out) replies still unread; a
         #: lagging worker is excluded from dispatch until drained
         self._lagging: Dict[int, int] = {}
@@ -372,12 +401,16 @@ class ProcessPoolBackend(ExecutionBackend):
     def ensure_pool(self) -> PersistentWorkerPool:
         """Spawn (or respawn after ``close``) the persistent worker team."""
         if self._pool is None or self._pool.closed:
-            self._pool = PersistentWorkerPool(self._worker_count())
+            self._pool = PersistentWorkerPool(
+                self._worker_count(),
+                transport=make_transport(self.transport_name,
+                                         self.transport_options))
             self._owner.clear()
             self._local.clear()
             self._recovery.clear()
             self._dispatch_count.clear()
             self._transit.clear()
+            self._sent_payloads.clear()
             self._lagging.clear()
         return self._pool
 
@@ -611,6 +644,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._dispatch_count[worker] = dispatch_no
         fault = None
         transit: List = []
+        corrupt_down = False
         if self.fault_plan is not None:
             worker_events = self.fault_plan.take(worker, dispatch_no,
                                                  WORKER_KINDS)
@@ -619,16 +653,32 @@ class ProcessPoolBackend(ExecutionBackend):
                 fault = {"kind": event.kind, "duration": event.duration}
             transit = self.fault_plan.take(worker, dispatch_no,
                                            TRANSPORT_KINDS)
+            corrupt_down = bool(self.fault_plan.take(worker, dispatch_no,
+                                                     DOWNLINK_KINDS))
+            for event in self.fault_plan.take(worker, dispatch_no,
+                                              NETWORK_KINDS):
+                self._pool.inject_network_fault(worker, event.kind,
+                                                event.duration)
+                self.fault_stats["network_faults"] += 1
         codec = (self.delta_codec, self.delta_top_k, self.delta_bits)
         slowdown = max(1.0, 1.0 / self.worker_speed(worker))
         fold = None
         if pending.fold_weights is not None:
             fold = {cid: pending.fold_weights[cid] for cid in ids}
-        self._pool.send(worker, "train",
-                        (list(ids), unique, assign, self.intra_worker,
-                         codec, slowdown, fault,
-                         self.on_worker_failure != "fail", fold))
+        args = (list(ids), unique, assign, self.intra_worker,
+                codec, slowdown, fault,
+                self.on_worker_failure != "fail", fold)
+        crc = payload_checksum(args)
+        shipped = args
+        if corrupt_down:
+            # Damage a *copy*: the unique states are the live coordinator
+            # mirrors, and the retry must re-serve the clean broadcast.
+            shipped = copy.deepcopy(args)
+            _corrupt_payload(shipped)
+        self._pool.send(worker, "train", (crc, shipped))
         self._transit.setdefault(worker, []).append(transit)
+        self._sent_payloads.setdefault(worker, []).append(
+            [crc, args, False])
         pending.groups.setdefault(worker, []).append(list(ids))
         pending.outstanding.add(worker)
         self.transport.record_download(
@@ -671,6 +721,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._pool.recv(worker)
             reply = self._pool.recv(worker)
             reply = self._verify_reply(pending, worker, reply)
+        except BroadcastCorrupted:
+            # The worker refused a damaged broadcast without training —
+            # re-serve the cached clean payload once (the shard stays
+            # outstanding and its reply FIFOs stay aligned).
+            self._resend_broadcast(worker)
+            return []
         except WorkerCrash as error:
             self._handle_crash(pending, worker, error, redispatch=redispatch)
             return []
@@ -679,6 +735,9 @@ class ProcessPoolBackend(ExecutionBackend):
             # _verify_reply already ran the recovery policy.
             return []
         worker_losses, deltas, stats = reply
+        sent_fifo = self._sent_payloads.get(worker)
+        if sent_fifo:
+            sent_fifo.pop(0)
         ids = pending.groups[worker].pop(0)
         if not pending.groups[worker]:
             del pending.groups[worker]
@@ -763,6 +822,33 @@ class ProcessPoolBackend(ExecutionBackend):
                     "retry)", worker=worker, command="resend")
         return reply
 
+    def _resend_broadcast(self, worker: int) -> None:
+        """Re-serve the oldest cached clean train broadcast (once).
+
+        The mirror image of the uplink resend path: the worker rejected a
+        checksum-failed downlink payload without executing it, so the same
+        dispatch is re-sent from the coordinator's clean cache — without
+        re-counting the dispatch or re-queueing transit faults (the shard's
+        FIFO entries are still in place).  A second rejection of the same
+        shard is a hard :class:`WorkerError` (the corruption persisted
+        across the retry).
+        """
+        fifo = self._sent_payloads.get(worker)
+        if not fifo:
+            raise WorkerError(
+                f"worker {worker} rejected a broadcast but no cached "
+                "payload is available to resend", worker=worker,
+                command="train")
+        entry = fifo[0]
+        if entry[2]:
+            raise WorkerError(
+                f"worker {worker} rejected the train broadcast twice "
+                "(downlink corruption persisted across the retry)",
+                worker=worker, command="train")
+        entry[2] = True
+        self.fault_stats["broadcast_retries"] += 1
+        self._pool.send(worker, "train", (entry[0], entry[1]))
+
     def collect_next(self, pending: "PendingRound",
                      timeout: Optional[float] = None) -> List[int]:
         """Absorb whichever outstanding shard finishes first (as-completed).
@@ -814,6 +900,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if extra_shard is not None:
             lost_shards.append(list(extra_shard))
         self._transit.pop(worker, None)
+        self._sent_payloads.pop(worker, None)
         self._lagging.pop(worker, None)
         lost_residents = sorted(cid for cid, owner in self._owner.items()
                                 if owner == worker)
@@ -930,6 +1017,9 @@ class ProcessPoolBackend(ExecutionBackend):
         transit_fifo = self._transit.get(worker)
         if transit_fifo:
             transit_fifo.pop(0)
+        sent_fifo = self._sent_payloads.get(worker)
+        if sent_fifo:
+            sent_fifo.pop(0)
         if "snapshots" in stats:
             self._recovery.update(stats["snapshots"])
         self.busy_sec[worker] = self.busy_sec.get(worker, 0.0) \
@@ -950,6 +1040,18 @@ class ProcessPoolBackend(ExecutionBackend):
                 command = self._pool.next_reply_command(worker)
                 try:
                     reply = self._pool.recv(worker)
+                except BroadcastCorrupted:
+                    # The stale shard was already dropped from its round —
+                    # retrain would be wasted work, so absorb the rejection
+                    # and retire the shard's FIFO entries instead of
+                    # resending.
+                    if command == "train":
+                        self._lagging[worker] -= 1
+                        for fifo in (self._transit.get(worker),
+                                     self._sent_payloads.get(worker)):
+                            if fifo:
+                                fifo.pop(0)
+                    continue
                 except WorkerCrash as error:
                     self._handle_crash(None, worker, error)
                     break
@@ -1072,6 +1174,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._recovery.clear()
         self._dispatch_count.clear()
         self._transit.clear()
+        self._sent_payloads.clear()
         self._lagging.clear()
 
 

@@ -33,6 +33,17 @@ Fault kinds
 ``"drop"``
     The reply's payload is discarded in transit; the coordinator requests
     the worker's cached reply once.
+``"corrupt_down"``
+    The *downlink* train broadcast is mutated before it leaves the
+    coordinator; the worker's checksum verification fails and it asks for
+    one clean resend (the mirror image of ``"corrupt"``).
+``"delay"`` / ``"partition"`` / ``"reorder"`` / ``"drop_msg"``
+    Network events applied at the transport channel (TCP only): hold the
+    next frame for ``duration`` seconds, sever the link for ``duration``
+    seconds (reconnect + session resume must recover), swap the next two
+    frames, or lose the next frame's first transmission (retransmit
+    recovers).  The ``pipe`` transport has no wire to disturb, so backends
+    reject plans carrying network kinds unless ``transport="tcp"``.
 """
 
 from __future__ import annotations
@@ -44,13 +55,20 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 #: the failure modes a plan may schedule
-FAULT_KINDS = ("crash", "stall", "corrupt", "drop")
+FAULT_KINDS = ("crash", "stall", "corrupt", "drop", "corrupt_down",
+               "delay", "partition", "reorder", "drop_msg")
 
 #: fault kinds executed inside the worker process (shipped with the payload)
 WORKER_KINDS = ("crash", "stall")
 
 #: fault kinds applied at the coordinator's transport seam (reply path)
 TRANSPORT_KINDS = ("corrupt", "drop")
+
+#: fault kinds applied to the coordinator's outgoing train broadcast
+DOWNLINK_KINDS = ("corrupt_down",)
+
+#: fault kinds injected into the transport channel itself (TCP links only)
+NETWORK_KINDS = ("delay", "partition", "reorder", "drop_msg")
 
 
 @dataclass(frozen=True)
@@ -74,6 +92,9 @@ class FaultEvent:
             raise ValueError("dispatch index is 1-based (must be >= 1)")
         if self.kind == "stall" and self.duration <= 0:
             raise ValueError("stall events need a positive duration")
+        if self.kind in ("delay", "partition") and self.duration <= 0:
+            raise ValueError(
+                f"{self.kind} events need a positive duration")
 
 
 class FaultPlan:
@@ -133,6 +154,12 @@ class FaultPlan:
     def remaining(self) -> int:
         """Events that have not fired yet."""
         return sum(len(batch) for batch in self._events.values())
+
+    def scheduled_kinds(self) -> set:
+        """Kinds of the events that have not fired yet (capability checks:
+        backends refuse network kinds on transports without a wire)."""
+        return {event.kind for batch in self._events.values()
+                for event in batch}
 
     def take(self, worker: int, dispatch: int,
              kinds: Optional[Sequence[str]] = None) -> List[FaultEvent]:

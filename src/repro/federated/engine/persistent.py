@@ -35,16 +35,17 @@ already-resident subgraphs) for personalized training.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import pickle
 import time
 import traceback
 import weakref
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+from repro.federated.engine.faults import payload_checksum
 
 StateDict = Dict[str, np.ndarray]
 
@@ -429,8 +430,6 @@ def _train_shard(residents: Dict[int, object], intra_backend,
         pause = float(fault.get("duration", 0.0))
         time.sleep(pause)
         elapsed += pause
-    from repro.federated.engine.faults import payload_checksum
-
     stats = {"mode": mode, "delta_values": delta_values,
              "clients": len(shard), "busy_sec": elapsed,
              "checksum": payload_checksum(deltas)}
@@ -474,11 +473,20 @@ def _worker_loop(conn) -> None:
                     residents[cid] = pickle.loads(blob)
                 result = None
             elif command == "train":
+                # Downlink integrity: the coordinator stamps a checksum of
+                # the clean broadcast; a mismatch here means the payload was
+                # damaged on the way down — ask for one clean resend
+                # instead of training on garbage (mirror of the uplink
+                # corrupt/resend path).
+                crc, args = payload
+                if crc is not None and payload_checksum(args) != crc:
+                    conn.send(("retry", None))
+                    continue
                 if intra_backend is None:
                     from repro.federated.engine.batched import BatchedBackend
                     intra_backend = BatchedBackend()
                 result = _train_shard(residents, intra_backend, residuals,
-                                      *payload)
+                                      *args)
                 last_train = result
             elif command == "resend":
                 # The coordinator detected a corrupted/dropped reply; ship
@@ -546,6 +554,17 @@ class WorkerError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
+class BroadcastCorrupted(WorkerError):
+    """A worker rejected a checksum-failed downlink broadcast.
+
+    Raised coordinator-side when a worker answers a ``train`` command with
+    ``("retry", None)``: the payload failed its downlink checksum on
+    arrival, the worker did not execute it, and one clean resend of the
+    cached broadcast recovers the shard.  Unlike a generic
+    :class:`WorkerError` this does **not** poison the pool — the
+    request→reply protocol stayed aligned."""
+
+
 class WorkerCrash(WorkerError):
     """A worker process died (dead pipe) instead of answering a command.
 
@@ -556,21 +575,33 @@ class WorkerCrash(WorkerError):
 
 
 class PersistentWorkerPool:
-    """A fixed team of command-loop worker processes, one pipe each.
+    """A fixed team of command-loop workers, one duplex channel each.
 
-    Supervision: :meth:`respawn` replaces a dead worker's process and pipe
-    in place, :meth:`mark_dead` retires a slot so surviving workers absorb
-    its load, and :meth:`wait` accepts a timeout so round loops can enforce
-    deadlines.  Dead pipes surface as :class:`WorkerCrash` (with the worker
-    index and the command whose reply was expected) rather than raw
-    ``OSError``/``EOFError``.
+    The channel is provided by a
+    :class:`~repro.federated.engine.transport.WorkerTransport` —
+    ``PipeTransport`` (the default: today's fork pipes, byte for byte) or
+    ``TcpTransport`` (framed sockets; workers may be separate processes or
+    remote hosts).  The pool only ever uses the
+    ``send``/``recv``/``poll``/``close`` surface both channel kinds share,
+    so the command protocol is transport-agnostic.
+
+    Supervision: :meth:`respawn` replaces a dead worker's process and
+    channel in place, :meth:`mark_dead` retires a slot so surviving workers
+    absorb its load, and :meth:`wait` accepts a timeout so round loops can
+    enforce deadlines.  Dead channels surface as :class:`WorkerCrash` (with
+    the worker index and the command whose reply was expected) rather than
+    raw ``OSError``/``EOFError`` — and a TCP link that exhausted its
+    heartbeat/reconnect budget surfaces exactly like a dead pipe.
     """
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int, transport=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        methods = mp.get_all_start_methods()
-        self._context = mp.get_context("fork" if "fork" in methods else None)
+        if transport is None:
+            from repro.federated.engine.transport import PipeTransport
+
+            transport = PipeTransport()
+        self.transport = transport
         #: set when a command failed and replies may be left queued — see
         #: :meth:`recv`
         self.poisoned = False
@@ -578,31 +609,25 @@ class PersistentWorkerPool:
         self._inflight = [0] * num_workers
         #: per-worker FIFO of in-flight command names (reply attribution)
         self._commands: List[deque] = [deque() for _ in range(num_workers)]
-        #: per-worker FIFO of replies read off the pipe but not yet consumed
-        #: (``recv_reply_to`` sets these aside) as (status, result, command)
+        #: per-worker FIFO of replies read off the channel but not yet
+        #: consumed (``recv_reply_to`` sets these aside) as
+        #: (status, result, command)
         self._buffered: List[deque] = [deque() for _ in range(num_workers)]
         #: worker slots retired by :meth:`mark_dead`
         self._dead: Set[int] = set()
-        self._conns = []
+        self._channels = []
         self._procs = []
-        for _ in range(num_workers):
-            parent, process = self._spawn_worker()
-            self._conns.append(parent)
+        for index in range(num_workers):
+            channel, process = transport.spawn(index)
+            self._channels.append(channel)
             self._procs.append(process)
         # Reclaim abandoned pools at GC time (daemon workers additionally
         # guarantee nothing survives coordinator exit).  The finalizer
         # captures the *live* lists — respawned workers replace their slot
         # in place, so they are reaped too.
         self._finalizer = weakref.finalize(
-            self, PersistentWorkerPool._reap, self._conns, self._procs)
-
-    def _spawn_worker(self):
-        parent, child = self._context.Pipe(duplex=True)
-        process = self._context.Process(target=_worker_loop, args=(child,),
-                                        daemon=True)
-        process.start()
-        child.close()
-        return parent, process
+            self, PersistentWorkerPool._reap, self._channels, self._procs,
+            transport)
 
     # ------------------------------------------------------------------
     @property
@@ -620,8 +645,17 @@ class PersistentWorkerPool:
                 if worker not in self._dead]
 
     def is_alive(self, worker: int) -> bool:
-        """True when the slot is active and its process is running."""
-        return worker not in self._dead and self._procs[worker].is_alive()
+        """True when the slot is active and its process is running.
+
+        Externally launched workers (TCP ``mode="external"``) have no local
+        process handle; liveness is then the channel's.
+        """
+        if worker in self._dead:
+            return False
+        process = self._procs[worker]
+        if process is None:
+            return not getattr(self._channels[worker], "_dead", False)
+        return process.is_alive()
 
     # ------------------------------------------------------------------
     def _crash(self, worker: int, command: Optional[str],
@@ -631,7 +665,7 @@ class PersistentWorkerPool:
         self._commands[worker].clear()
         self._buffered[worker].clear()
         return WorkerCrash(
-            f"worker {worker} died (pipe closed) "
+            f"worker {worker} died (channel closed) "
             f"while '{command}' was in flight: {cause!r}",
             worker=worker, command=command)
 
@@ -645,7 +679,7 @@ class PersistentWorkerPool:
             raise WorkerCrash(f"worker {worker} has been retired",
                               worker=worker, command=command)
         try:
-            self._conns[worker].send((command, payload))
+            self._channels[worker].send((command, payload))
         except (OSError, ValueError, BlockingIOError) as error:
             raise self._crash(worker, command, error) from error
         self._inflight[worker] += 1
@@ -674,7 +708,7 @@ class PersistentWorkerPool:
         command = self._commands[worker][0] if self._commands[worker] \
             else None
         try:
-            status, result = self._conns[worker].recv()
+            status, result = self._channels[worker].recv()
         except (EOFError, OSError) as error:
             raise self._crash(worker, command, error) from error
         except BaseException:
@@ -686,6 +720,15 @@ class PersistentWorkerPool:
         return status, result, command
 
     def _interpret(self, worker: int, status, result, command):
+        if status == "retry":
+            # The worker refused a checksum-failed broadcast and is waiting
+            # for a clean resend.  The request→reply pairing is intact (this
+            # *was* the train reply), so the pool is not poisoned — the
+            # caller re-sends the cached clean payload.
+            raise BroadcastCorrupted(
+                f"worker {worker} rejected a corrupted '{command}' "
+                "broadcast (downlink checksum mismatch)",
+                worker=worker, command=command)
         if status != "ok":
             self.poisoned = True
             raise WorkerError(
@@ -726,29 +769,54 @@ class PersistentWorkerPool:
         if self._buffered[worker]:
             return True
         try:
-            return self._conns[worker].poll(0)
+            return self._channels[worker].poll(0)
         except (OSError, ValueError):
-            # A closed/broken pipe is "readable": recv will raise the crash.
+            # A closed/broken channel is "readable": recv raises the crash.
             return True
+
+    def inject_network_fault(self, worker: int, kind: str,
+                             duration: float = 0.0) -> None:
+        """Schedule a network fault on a worker's link (TCP channels only).
+
+        ``delay``/``partition``/``reorder``/``drop_msg`` — see
+        :meth:`~repro.federated.engine.transport._TcpChannel.inject`.  Pipe
+        channels have no wire to perturb; injecting on one is an error the
+        fault-plan validation surfaces before any round runs.
+        """
+        channel = self._channels[worker]
+        inject = getattr(channel, "inject", None)
+        if inject is None:
+            raise WorkerError(
+                f"transport {self.transport.name!r} does not support "
+                f"network fault injection (kind={kind!r})",
+                worker=worker)
+        inject(kind, duration)
+
+    def network_stats(self) -> Dict:
+        """The transport's cumulative wire statistics (name, frames, ...)."""
+        return self.transport.stats()
 
     # ------------------------------------------------------------------
     def respawn(self, worker: int) -> None:
-        """Replace a dead worker's process and pipe in the same slot.
+        """Replace a dead worker's process and channel in the same slot.
 
         The replacement starts with an empty resident registry — the
         supervision layer re-adopts the lost clients from its recovery
-        snapshots after this call.
+        snapshots after this call.  Over TCP in ``external`` mode the fresh
+        channel instead *waits* (within the connect budget) for an operator
+        to launch a replacement ``repro.cli worker``.
         """
         try:
-            self._conns[worker].close()
+            self._channels[worker].close()
         except OSError:
             pass
         old = self._procs[worker]
-        if old.is_alive():
-            old.terminate()
-        old.join(timeout=5.0)
-        parent, process = self._spawn_worker()
-        self._conns[worker] = parent
+        if old is not None:
+            if old.is_alive():
+                old.terminate()
+            old.join(timeout=5.0)
+        channel, process = self.transport.spawn(worker)
+        self._channels[worker] = channel
         self._procs[worker] = process
         self._inflight[worker] = 0
         self._commands[worker].clear()
@@ -759,13 +827,14 @@ class PersistentWorkerPool:
         """Retire a worker slot (redistribute policy): close, don't replace."""
         self._dead.add(worker)
         try:
-            self._conns[worker].close()
+            self._channels[worker].close()
         except OSError:
             pass
         process = self._procs[worker]
-        if process.is_alive():
-            process.terminate()
-        process.join(timeout=5.0)
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
         self._inflight[worker] = 0
         self._commands[worker].clear()
         self._buffered[worker].clear()
@@ -793,12 +862,10 @@ class PersistentWorkerPool:
         coordinator folds whichever shard lands first instead of draining
         replies in dispatch order behind the slowest worker.  With a
         ``timeout`` (seconds) the wait returns an empty list once the
-        deadline passes — the round-timeout primitive.  A worker whose pipe
-        died also reports ready (EOF is readable); its ``recv`` then raises
-        :class:`WorkerCrash`, which is how crashes are detected.
+        deadline passes — the round-timeout primitive.  A worker whose
+        channel died also reports ready (EOF is readable); its ``recv``
+        then raises :class:`WorkerCrash`, which is how crashes are detected.
         """
-        from multiprocessing.connection import wait as connection_wait
-
         candidates = [worker for worker in workers
                       if worker not in self._dead]
         if not candidates:
@@ -808,11 +875,12 @@ class PersistentWorkerPool:
         if buffered:
             # Replies set aside by recv_reply_to are already readable.
             return buffered
-        ready = connection_wait(
-            [self._conns[worker] for worker in candidates], timeout=timeout)
-        ready_ids = {id(conn) for conn in ready}
+        ready = self.transport.wait(
+            [self._channels[worker] for worker in candidates],
+            timeout=timeout)
+        ready_ids = {id(channel) for channel in ready}
         return [worker for worker in candidates
-                if id(self._conns[worker]) in ready_ids]
+                if id(self._channels[worker]) in ready_ids]
 
     def run_batches(self, batches: Dict[int, List[Tuple[str, object]]]
                     ) -> Dict[int, List]:
@@ -829,20 +897,19 @@ class PersistentWorkerPool:
         Returns per-worker result lists in the order the commands were
         queued; worker errors re-raise with the worker traceback.
         """
-        from multiprocessing.connection import wait as connection_wait
-
         pending = {worker: list(commands)
                    for worker, commands in batches.items() if commands}
         results: Dict[int, List] = {worker: [] for worker in batches}
-        worker_of = {id(self._conns[worker]): worker for worker in pending}
+        worker_of = {id(self._channels[worker]): worker
+                     for worker in pending}
         for worker in pending:
             self.send(worker, *pending[worker].pop(0))
         outstanding = set(pending)
         while outstanding:
-            ready = connection_wait(
-                [self._conns[worker] for worker in outstanding])
-            for conn in ready:
-                worker = worker_of[id(conn)]
+            ready = self.transport.wait(
+                [self._channels[worker] for worker in outstanding])
+            for channel in ready:
+                worker = worker_of[id(channel)]
                 results[worker].append(self.recv(worker))
                 if pending[worker]:
                     self.send(worker, *pending[worker].pop(0))
@@ -857,26 +924,35 @@ class PersistentWorkerPool:
             self._finalizer()
 
     @staticmethod
-    def _reap(conns, procs) -> None:
-        # A crashed worker's broken pipe (or an already-closed slot retired
-        # by mark_dead) must never abort the close: every failure here is
-        # swallowed so the survivors are always stopped, joined and reaped.
-        for conn in conns:
+    def _reap(channels, procs, transport) -> None:
+        # A crashed worker's broken channel (or an already-closed slot
+        # retired by mark_dead) must never abort the close: every failure
+        # here is swallowed so the survivors are always stopped, joined and
+        # reaped.
+        for channel in channels:
             try:
-                conn.send(("stop", None))
+                channel.send(("stop", None))
             except (OSError, ValueError, BlockingIOError, EOFError):
                 pass
-        # Close the parent pipe ends *before* joining: a worker still blocked
-        # writing a large unread reply (e.g. after a mid-round abort) gets a
-        # broken pipe and exits immediately instead of burning the join
-        # timeout; idle workers see EOF at their next recv.
-        for conn in conns:
+        # Close the coordinator channel ends *before* joining: a worker
+        # still blocked writing a large unread reply (e.g. after a mid-round
+        # abort) gets a broken channel and exits immediately instead of
+        # burning the join timeout; idle workers see EOF at their next recv.
+        # (TCP channels additionally drain briefly so the stop command is
+        # actually transmitted before the link is torn down.)
+        for channel in channels:
             try:
-                conn.close()
+                channel.close()
             except (OSError, ValueError):
                 pass
         for process in procs:
+            if process is None:
+                continue
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+        try:
+            transport.close()
+        except (OSError, ValueError):
+            pass

@@ -103,6 +103,21 @@ def resolve_round_loop(trainer):
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
+def _transport_summary(backend) -> Dict:
+    """Channel-level wire statistics of the backend's worker transport.
+
+    TCP pools report frames/bytes/retransmits/CRC failures/reconnects; pipe
+    pools (and closed ones) contribute the transport name alone.
+    """
+    pool = getattr(backend, "_pool", None)
+    if pool is not None and not pool.closed:
+        try:
+            return pool.network_stats()
+        except (OSError, ValueError, AttributeError):
+            pass
+    return {"transport": getattr(backend, "transport_name", "pipe")}
+
+
 def _state_size(state: Dict[str, np.ndarray]) -> int:
     return sum(value.size for value in state.values())
 
@@ -402,6 +417,7 @@ class SyncPipelinedLoop:
             "fused_eval": type(self._fused_eval).__name__
             if self._fused_eval else None,
             "fault_stats": dict(backend.fault_stats),
+            "transport": _transport_summary(backend),
         })
         backend.last_pipeline_stats = stats
 
@@ -664,6 +680,7 @@ class AsyncRoundLoop:
             "max_report_lag": lag_max,
             "client_lag": dict(lag_by_client),
             "fault_stats": dict(backend.fault_stats),
+            "transport": _transport_summary(backend),
         })
         backend.last_pipeline_stats = stats
 

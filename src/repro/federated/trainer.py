@@ -169,6 +169,14 @@ class FederatedConfig:
     delta_top_k: int = 32
     delta_bits: int = 8
     worker_speeds: Optional[Sequence[float]] = None
+    #: coordinator↔worker channel of the process pool: ``"pipe"`` (default,
+    #: the bitwise parity reference) or ``"tcp"`` (framed sockets with CRC,
+    #: heartbeats and reconnect — workers may live in other processes or on
+    #: other hosts).  Sync-path histories are bitwise-equal across the two.
+    transport: str = "pipe"
+    #: keyword options for the transport factory (TCP knobs such as
+    #: ``heartbeat_timeout``, ``mode="external"``, or a ``wan`` link spec)
+    transport_options: Optional[Dict] = None
     on_worker_failure: str = "fail"
     round_timeout: Optional[float] = None
     checkpoint_every: int = 0
@@ -223,6 +231,8 @@ class FederatedTrainer:
             delta_top_k=self.config.delta_top_k,
             delta_bits=self.config.delta_bits,
             worker_speeds=self.config.worker_speeds,
+            transport=self.config.transport,
+            transport_options=self.config.transport_options,
             on_worker_failure=self.config.on_worker_failure,
             round_timeout=self.config.round_timeout,
             fault_plan=self.config.fault_plan)

@@ -14,6 +14,7 @@ Layered as the serving PR describes:
 """
 
 from repro.serving.engine import (
+    AdmissionRejected,
     InductiveQuery,
     QueryEngine,
     QueryResult,
@@ -30,6 +31,7 @@ from repro.serving.subgraph import (
 )
 
 __all__ = [
+    "AdmissionRejected",
     "ClientEntry",
     "InductiveQuery",
     "LoadReport",

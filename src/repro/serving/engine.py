@@ -142,27 +142,47 @@ class _Pending:
 _CLOSE = object()
 
 
+class AdmissionRejected(RuntimeError):
+    """The engine's bounded admission queue is full (fast-fail shedding).
+
+    Raised by :meth:`QueryEngine.submit` when ``max_queue`` queries are
+    already waiting: under open-loop overload, rejecting at the door keeps
+    the latency of admitted queries bounded instead of letting the queue —
+    and every subsequent response time — grow without limit."""
+
+
 class QueryEngine:
-    """Admission queue + micro-batching worker over a frozen snapshot."""
+    """Admission queue + micro-batching worker over a frozen snapshot.
+
+    ``max_queue`` bounds the admission queue: ``0`` (default) admits every
+    query, a positive bound sheds overload by raising
+    :class:`AdmissionRejected` from :meth:`submit` once that many queries
+    are waiting (rejections are counted in :attr:`rejected`).
+    """
 
     def __init__(self, snapshot: ServingSnapshot, *, max_batch: int = 32,
                  max_delay_ms: float = 2.0,
                  array_backend: Optional[str] = None,
-                 cache_size: int = 128):
+                 cache_size: int = 128, max_queue: int = 0):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_ms < 0:
             raise ValueError("max_delay_ms must be >= 0")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (0 = unbounded)")
         self.snapshot = snapshot
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay_ms) / 1000.0
+        self.max_queue = int(max_queue)
         self._backend = resolve_backend(
             array_backend if array_backend is not None
             else snapshot.array_backend)
         self.cache = SubgraphLRU(cache_size)
         self.batch_log: List[Dict] = []
         self.served = 0
-        self._queue: "queue.Queue" = queue.Queue()
+        #: queries fast-failed at the admission door (queue overflow)
+        self.rejected = 0
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.max_queue)
         self._closed = False
         self._worker = threading.Thread(target=self._loop,
                                         name="repro-serving-worker",
@@ -181,7 +201,13 @@ class QueryEngine:
         if self._closed:
             raise RuntimeError("QueryEngine is closed")
         pending = _Pending(query)
-        self._queue.put(pending)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.rejected += 1
+            raise AdmissionRejected(
+                f"admission queue full ({self.max_queue} queries waiting); "
+                "query rejected") from None
         return pending.future
 
     def query(self, query: Query, timeout: Optional[float] = 60.0

@@ -17,7 +17,12 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.serving.engine import InductiveQuery, Query, TransductiveQuery
+from repro.serving.engine import (
+    AdmissionRejected,
+    InductiveQuery,
+    Query,
+    TransductiveQuery,
+)
 
 
 @dataclass
@@ -36,6 +41,9 @@ class LoadReport:
     mean_batch: float
     triggers: Dict[str, int] = field(default_factory=dict)
     paths: Dict[str, int] = field(default_factory=dict)
+    #: queries the bounded admission queue fast-failed (overload shedding);
+    #: they never entered the engine, so they carry no latency sample
+    rejected: int = 0
 
     def as_dict(self) -> Dict:
         from dataclasses import asdict
@@ -90,12 +98,19 @@ def run_open_loop(engine, queries: Sequence[Query], rate: float, *,
     log_start = len(engine.batch_log)
     start = time.perf_counter()
     pending = []
+    rejected = 0
     for query, offset in zip(queries, offsets):
         target = start + float(offset)
         delay = target - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
-        pending.append((target, engine.submit(query)))
+        try:
+            pending.append((target, engine.submit(query)))
+        except AdmissionRejected:
+            rejected += 1
+    if not pending:
+        raise RuntimeError(
+            f"the admission queue rejected all {rejected} submissions")
     results = [(target, future.result(timeout=timeout))
                for target, future in pending]
     end = max(result.completed for _, result in results)
@@ -122,4 +137,5 @@ def run_open_loop(engine, queries: Sequence[Query], rate: float, *,
         mean_batch=(sum(r["size"] for r in batches) / len(batches)
                     if batches else 0.0),
         triggers=triggers,
-        paths=paths)
+        paths=paths,
+        rejected=rejected)

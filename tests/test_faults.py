@@ -167,6 +167,31 @@ class TestCrashRecovery:
         assert trainer.backend.fault_stats["crashes"] == 0
         _assert_history_bitwise(baseline, history)
 
+    def test_corrupted_broadcast_recovers_with_one_resend(
+            self, four_clients):
+        """A damaged *downlink* broadcast is rejected worker-side and
+        repaired by one clean resend from the coordinator's cache."""
+        _, baseline = _run(four_clients)
+        plan = FaultPlan([FaultEvent(0, 2, "corrupt_down"),
+                          FaultEvent(1, 3, "corrupt_down")])
+        trainer, history = _run(four_clients, fault_plan=plan)
+        assert trainer.backend.fault_stats["broadcast_retries"] == 2
+        assert trainer.backend.fault_stats["crashes"] == 0
+        assert trainer.backend.fault_stats["retries"] == 0
+        _assert_history_bitwise(baseline, history)
+
+    def test_corrupted_broadcast_both_directions_same_round(
+            self, four_clients):
+        """Downlink and uplink corruption on the same dispatch recover
+        independently (reject->resend down, checksum->resend up)."""
+        _, baseline = _run(four_clients)
+        plan = FaultPlan([FaultEvent(0, 2, "corrupt_down"),
+                          FaultEvent(0, 2, "corrupt")])
+        trainer, history = _run(four_clients, fault_plan=plan)
+        assert trainer.backend.fault_stats["broadcast_retries"] == 1
+        assert trainer.backend.fault_stats["retries"] == 1
+        _assert_history_bitwise(baseline, history)
+
     def test_unpicklable_client_falls_back_local_during_recovery(
             self, four_clients):
         """A mirror that cannot be re-adopted after a crash is evicted to
@@ -268,6 +293,30 @@ class TestCheckpointResume:
         _assert_history_bitwise(full, resumed)
         for a, b in zip(full.client_accuracy, resumed.client_accuracy):
             assert a == b
+
+    def test_hierarchical_resume_is_bitwise_identical(self, four_clients,
+                                                      tmp_path):
+        """PR 6's bitwise resume bar, extended to the hierarchical
+        (fold_weights edge-aggregation) path."""
+        def run(rounds, **kwargs):
+            return _run(four_clients, rounds=rounds, num_workers=2,
+                        hierarchical=True, participation=0.75, **kwargs)
+
+        _, full = run(rounds=6)
+        trainer, _ = run(rounds=3, checkpoint_every=3,
+                         checkpoint_dir=str(tmp_path))
+        assert trainer.backend.hierarchical
+        ckpt = tmp_path / "round_0003.ckpt"
+        assert ckpt.exists()
+        _, resumed = run(rounds=6, resume_from=str(ckpt))
+        _assert_history_bitwise(full, resumed)
+        for a, b in zip(full.client_accuracy, resumed.client_accuracy):
+            assert a == b
+        # The fold path must also match flat FedAvg's resumed history
+        # bitwise (the hierarchical invariant holds across a resume).
+        _, flat = _run(four_clients, rounds=6, num_workers=2,
+                       participation=0.75, resume_from=str(ckpt))
+        _assert_history_bitwise(full, flat)
 
     def test_checkpoint_file_format(self, four_clients, tmp_path):
         trainer, _ = _run(four_clients, rounds=2, backend="serial",

@@ -22,6 +22,7 @@ from repro.fgl import build_baseline, make_model_factory
 from repro.graph import Graph
 from repro.models import GCN, GCNII
 from repro.serving import (
+    AdmissionRejected,
     InductiveQuery,
     QueryEngine,
     ServingSnapshot,
@@ -462,3 +463,60 @@ def test_query_mix_is_seed_deterministic(snapshot):
             assert a.client_id == b.client_id
             assert a.anchors == b.anchors
             assert np.array_equal(a.features, b.features)
+
+
+# ----------------------------------------------------------------------
+# Bounded admission queue (overload shedding)
+# ----------------------------------------------------------------------
+def test_bounded_queue_fast_fails_on_overflow(snapshot):
+    # A stalled worker (huge deadline, huge batch) never drains the queue,
+    # so the bound is hit by the submissions alone.
+    engine = QueryEngine(snapshot, max_batch=100, max_delay_ms=10_000.0,
+                         max_queue=3)
+    try:
+        futures = [engine.submit(TransductiveQuery(0, node))
+                   for node in range(3)]
+        # The worker thread consumed the first pending item into its batch,
+        # freeing one slot; fill whatever capacity remains, then overflow.
+        overflowed = 0
+        for node in range(3, 10):
+            try:
+                futures.append(engine.submit(TransductiveQuery(0, node)))
+            except AdmissionRejected:
+                overflowed += 1
+        assert overflowed > 0
+        assert engine.rejected == overflowed
+    finally:
+        engine.close()
+    # Every admitted query still completes (close flushes the queue).
+    for future in futures:
+        assert future.result(timeout=30) is not None
+
+
+def test_unbounded_queue_never_rejects(snapshot):
+    with QueryEngine(snapshot, max_batch=8, max_delay_ms=1.0) as engine:
+        futures = [engine.submit(TransductiveQuery(0, node % 5))
+                   for node in range(200)]
+        for future in futures:
+            future.result(timeout=30)
+    assert engine.rejected == 0
+    assert engine.max_queue == 0
+
+
+def test_rejections_negative_bound_refused(snapshot):
+    with pytest.raises(ValueError, match="max_queue"):
+        QueryEngine(snapshot, max_queue=-1)
+
+
+def test_open_loop_surfaces_rejections(snapshot):
+    queries = build_query_mix(snapshot, 60, seed=5)
+    engine = QueryEngine(snapshot, max_batch=100, max_delay_ms=50.0,
+                         max_queue=4)
+    with engine:
+        report = run_open_loop(engine, queries, rate=50_000.0, seed=5)
+    # At 50k qps offered against a 50 ms flush deadline the bound must shed.
+    assert report.rejected > 0
+    assert report.rejected == engine.rejected
+    assert report.queries == 60 - report.rejected
+    assert sum(report.paths.values()) == report.queries
+    assert report.rejected in report.as_dict().values()
